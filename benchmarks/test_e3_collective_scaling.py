@@ -1,0 +1,18 @@
+"""Benchmark E3: Allreduce latency vs node count per noise granularity.
+
+Regenerates the E3 table (see DESIGN.md experiment index) at the
+CI-sized "small" scale and asserts its qualitative shape checks.  The
+benchmark time is the full cost of reproducing the figure.  Run with
+``--benchmark-only -s`` to see the rendered table.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_e3_collective_scaling(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_experiment("E3", "small"), rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.passed, (
+        "E3 shape checks failed: " + str(report.failed_checks()))

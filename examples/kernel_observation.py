@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Kernel observation: attach the observer and name the ghost.
+
+Runs a halo-exchange application on a commodity-Linux machine with the
+ktau observer at full trace level, then shows the three views the
+framework provides:
+
+1. the per-activity kernel profile of one node (who ran, for how long);
+2. per-iteration attribution (which iterations were struck, by what);
+3. the blind spectral hunt from app timings alone, for comparison.
+
+Run:  python examples/kernel_observation.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.apps import StencilApp
+from repro.core import Machine, MachineConfig
+from repro.ktau import (
+    KtauTracer,
+    attribute_intervals,
+    build_kernel_profile,
+    candidate_frequencies,
+    explain_slow_intervals,
+    hunt,
+)
+from repro.noise import InjectionPlan
+
+
+def main() -> None:
+    machine = Machine(MachineConfig(
+        n_nodes=9, kernel="commodity-linux",
+        injection=InjectionPlan("1pct@5Hz", seed=7), seed=7))
+    tracer = KtauTracer(machine, level="trace", overhead="trace")
+    app = StencilApp(work_ns=10_000_000, halo_bytes=16_384,
+                     iterations=100, dt_interval=5).bind_tracer(tracer)
+    machine.run_to_completion(machine.launch(app))
+
+    # 1. The kernel profile of the grid's centre node.
+    node = 4
+    profile = build_kernel_profile(tracer, node, 0, machine.env.now)
+    rows = [[e.source, e.kind, e.count, f"{e.total_ns / 1e6:.3f}",
+             f"{100 * e.total_ns / profile.window_ns:.4f}"]
+            for e in sorted(profile.entries, key=lambda e: e.total_ns,
+                            reverse=True)]
+    print(format_table(["source", "kind", "count", "total ms", "% window"],
+                       rows, title=f"Kernel profile, node {node} "
+                                   f"({profile.window_ns / 1e6:.0f} ms window)"))
+
+    # 2. Attribution: name the thief behind each slow iteration.
+    atts = attribute_intervals(tracer, node, "stencil:iteration")
+    slow = explain_slow_intervals(atts, threshold=1.2)
+    print(f"\n{len(slow)} of {len(atts)} iterations ran >=1.2x the median:")
+    for s in slow[:5]:
+        print(f"  iteration {s.attribution.interval.meta.get('i')}: "
+              f"{s.slowdown_vs_median:.2f}x median — dominant thief: "
+              f"{s.thief} ({s.thief_ns / 1e3:.0f} us)")
+
+    # 3. Blind hunt from per-iteration durations only.
+    durations = np.array([a.duration_ns for a in atts], dtype=float)
+    sample_interval = int(durations.mean())
+    noise = machine.nodes[node].noise
+    leaf_sources = getattr(noise, "sources", [noise])
+    candidates = candidate_frequencies(machine.nodes[node].config,
+                                       leaf_sources)
+    report = hunt(durations, sample_interval, candidates, tolerance=0.25)
+    print("\nBlind spectral hunt over iteration durations:")
+    for s in report.suspects:
+        label = s.matched_source or "UNEXPLAINED GHOST"
+        print(f"  {s.frequency_hz:8.2f} Hz  power={s.power:10.3g}  -> {label}")
+    print("\nDirect observation names every thief; the blind hunt only "
+          "sees strong periodicities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: measure how kernel noise slows a parallel application.
+
+Builds a 32-node simulated machine, runs the POP-like ocean skeleton
+quiet and under the canonical 2.5 % noise granularity sweep, and prints
+the slowdown table — the library's one-screen demonstration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.core import ExperimentConfig, run_with_baseline
+from repro.noise import CANONICAL_SWEEP
+
+
+def main() -> None:
+    rows = []
+    for pattern in CANONICAL_SWEEP:
+        cmp = run_with_baseline(ExperimentConfig(
+            app="pop", nodes=32, noise_pattern=pattern, seed=1,
+            app_params=dict(baroclinic_ns=5_000_000, solver_iterations=30,
+                            solver_compute_ns=20_000, iterations=4)))
+        sd = cmp.slowdown
+        rows.append([pattern,
+                     f"{cmp.quiet.makespan_ns / 1e6:.2f}",
+                     f"{cmp.noisy.makespan_ns / 1e6:.2f}",
+                     f"{sd.slowdown_percent:.1f}%",
+                     f"{sd.amplification:.1f}x",
+                     sd.verdict])
+
+    print(format_table(
+        ["pattern (2.5% net)", "quiet ms", "noisy ms", "slowdown",
+         "amplification", "verdict"],
+        rows,
+        title="POP-like ocean skeleton, 32 nodes — same net noise, "
+              "three granularities"))
+    print("Same stolen CPU; wildly different application cost.")
+    print("Rare-but-long kernel events are amplified by the solver's")
+    print("allreduce storms, while frequent-but-tiny ones are absorbed.")
+
+
+if __name__ == "__main__":
+    main()

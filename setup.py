@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so
+``pip install -e .`` also works on environments whose pip/setuptools
+lack PEP-660 editable-wheel support (e.g. offline boxes without the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

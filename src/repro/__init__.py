@@ -1,0 +1,50 @@
+"""repro — "The Ghost in the Machine" (SC 2007) reproduction library.
+
+A simulated-cluster framework for *observing* the effect of operating
+system kernel activity ("noise") on parallel application performance:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation engine.
+* :mod:`repro.kernel` — per-node OS kernel model (timer interrupts,
+  scheduler ticks, daemons, softirqs) that preempts application work.
+* :mod:`repro.noise` — generative noise sources and injection patterns.
+* :mod:`repro.net` — LogGP network with optional NIC→kernel coupling.
+* :mod:`repro.mpi` — MPI-like messaging layer with real collective
+  algorithms, so noise amplification emerges from dependency structure.
+* :mod:`repro.ktau` — the paper's contribution: a kernel observation
+  framework producing per-process kernel profiles, merged user/kernel
+  timelines, and per-interval noise attribution.
+* :mod:`repro.apps` — parallel application skeletons (BSP, CG-like,
+  POP-like, sweep3d-like, halo stencil).
+* :mod:`repro.microbench` — FTQ / FWQ / selfish-detour / PSNAP-like
+  noise measurement benchmarks.
+* :mod:`repro.analysis` — spectral analysis, slowdown metrics, the
+  analytic absorption/amplification model, report tables.
+* :mod:`repro.core` — experiment configuration and sweep runners.
+* :mod:`repro.harness` — one module per paper experiment (E1–E10).
+
+Quickstart::
+
+    from repro.core import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(app="pop", nodes=64,
+                           noise_pattern="2.5pct@100Hz", seed=1)
+    result = run_experiment(cfg)
+    print(result.slowdown_percent)
+"""
+
+from .errors import (
+    ConfigError,
+    DeadlockError,
+    MPIError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError", "ConfigError", "SimulationError", "DeadlockError",
+    "MPIError", "TraceError",
+]

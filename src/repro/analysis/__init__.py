@@ -1,0 +1,41 @@
+"""Analysis toolkit: statistics, spectra, slowdown metrics, the
+semi-analytic absorption/amplification model, attribution scoring, and
+report-table rendering."""
+
+from .absorption import (
+    BSPModel,
+    BSPPrediction,
+    expected_max_wall,
+    expected_max_wall_sampled,
+    expected_mean_wall,
+    sampled_wall_times,
+    wall_time_by_phase,
+)
+from .budget import NoiseBudget, max_event_duration, max_utilization_at
+from .correlation import AttributionScore, pearson, score_attribution
+from .plot import ascii_bars, ascii_series, sparkline
+from .slowdown import SlowdownResult, amplification_factor, slowdown
+from .spectral import (
+    SpectralPeak,
+    Spectrum,
+    dominant_frequencies,
+    find_peaks,
+    lomb_scargle,
+    periodogram,
+)
+from .stats import SeriesStats, histogram, summarize_series
+from .tables import format_csv, format_ns, format_pct, format_table
+
+__all__ = [
+    "SeriesStats", "summarize_series", "histogram",
+    "Spectrum", "SpectralPeak", "periodogram", "find_peaks",
+    "dominant_frequencies", "lomb_scargle",
+    "SlowdownResult", "slowdown", "amplification_factor",
+    "BSPModel", "BSPPrediction", "wall_time_by_phase",
+    "expected_max_wall", "expected_mean_wall",
+    "sampled_wall_times", "expected_max_wall_sampled",
+    "AttributionScore", "score_attribution", "pearson",
+    "format_table", "format_csv", "format_ns", "format_pct",
+    "ascii_series", "ascii_bars", "sparkline",
+    "NoiseBudget", "max_event_duration", "max_utilization_at",
+]

@@ -1,0 +1,94 @@
+"""Noise budgeting: invert the absorption model.
+
+Operators ask the forward question's inverse: *given* a slowdown budget
+(say "kernel work may cost at most 5 %"), how much activity may the
+kernel schedule?  These helpers bisect the
+:class:`~repro.analysis.absorption.BSPModel` over event duration or
+frequency to find the boundary of the acceptable region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .absorption import BSPModel
+
+__all__ = ["NoiseBudget", "max_event_duration", "max_utilization_at"]
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseBudget:
+    """Result of a budget inversion."""
+
+    p_nodes: int
+    period_ns: int
+    max_duration_ns: int
+    predicted_slowdown: float
+    target_slowdown: float
+
+    @property
+    def max_utilization(self) -> float:
+        return self.max_duration_ns / self.period_ns
+
+
+def max_event_duration(model: BSPModel, p_nodes: int, period_ns: int,
+                       target_slowdown: float, *,
+                       resolution_ns: int = 100) -> NoiseBudget:
+    """Largest per-event duration keeping predicted slowdown <= target.
+
+    Bisects over duration in ``[0, period)``; the model's slowdown is
+    monotone in duration at fixed period.
+
+    Parameters
+    ----------
+    model:
+        The workload model (grain + collective round cost).
+    p_nodes:
+        Machine size the budget must hold at.
+    period_ns:
+        The activity's period (e.g. a 1 Hz daemon -> 1e9).
+    target_slowdown:
+        Acceptable fractional slowdown (0.05 = 5 %).
+    resolution_ns:
+        Bisection stopping width.
+    """
+    if target_slowdown <= 0:
+        raise ConfigError("target_slowdown must be > 0")
+    if period_ns <= 1:
+        raise ConfigError("period_ns must be > 1")
+    if resolution_ns <= 0:
+        raise ConfigError("resolution_ns must be > 0")
+
+    def slowdown_at(duration: int) -> float:
+        if duration <= 0:
+            return 0.0
+        return model.predict(p_nodes, period_ns, duration).slowdown_fraction
+
+    lo, hi = 0, period_ns - 1
+    if slowdown_at(hi) <= target_slowdown:
+        best = hi
+    else:
+        while hi - lo > resolution_ns:
+            mid = (lo + hi) // 2
+            if slowdown_at(mid) <= target_slowdown:
+                lo = mid
+            else:
+                hi = mid
+        best = lo
+    return NoiseBudget(p_nodes=p_nodes, period_ns=period_ns,
+                       max_duration_ns=best,
+                       predicted_slowdown=slowdown_at(best),
+                       target_slowdown=target_slowdown)
+
+
+def max_utilization_at(model: BSPModel, p_nodes: int, period_ns: int,
+                       target_slowdown: float) -> float:
+    """Shortcut: the tolerable utilization of an activity at that period.
+
+    The headline budgeting insight falls out directly: at a fixed
+    slowdown target, a 1000 Hz activity may consume far more *total*
+    CPU than a 1 Hz one, because its events are individually tiny.
+    """
+    return max_event_duration(model, p_nodes, period_ns,
+                              target_slowdown).max_utilization

@@ -1,0 +1,71 @@
+"""Attribution validation: observer-charged time vs ground truth.
+
+Because the simulator knows exactly what noise was configured, the
+observer's per-interval attribution can be scored against ground truth
+— the experiment (E6) that establishes the methodology is trustworthy
+before it is used to explain application slowdown.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AttributionScore", "score_attribution", "pearson"]
+
+
+def pearson(a: _t.Sequence[float], b: _t.Sequence[float]) -> float:
+    """Pearson correlation (0 when either series is constant)."""
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two equal-length series of >= 2 points")
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionScore:
+    """How well observer attribution explains interval-time variation."""
+
+    #: Correlation between interval duration and observer-charged steal.
+    duration_vs_charged: float
+    #: Total charged / total true stolen (1.0 = perfect accounting).
+    coverage: float
+    #: Mean absolute per-interval error, ns.
+    mean_abs_error_ns: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"duration_vs_charged_r": self.duration_vs_charged,
+                "coverage": self.coverage,
+                "mean_abs_error_ns": self.mean_abs_error_ns}
+
+
+def score_attribution(durations_ns: _t.Sequence[float],
+                      charged_ns: _t.Sequence[float],
+                      true_stolen_ns: _t.Sequence[float]) -> AttributionScore:
+    """Score per-interval attribution.
+
+    Parameters
+    ----------
+    durations_ns:
+        Wall duration of each instrumented interval.
+    charged_ns:
+        Noise the observer charged to each interval.
+    true_stolen_ns:
+        Ground-truth stolen time per interval (from the simulator).
+    """
+    d = np.asarray(durations_ns, dtype=float)
+    c = np.asarray(charged_ns, dtype=float)
+    t = np.asarray(true_stolen_ns, dtype=float)
+    if not (d.size == c.size == t.size) or d.size < 2:
+        raise ValueError("need three equal-length series of >= 2 intervals")
+    total_true = float(t.sum())
+    coverage = float(c.sum()) / total_true if total_true > 0 else float("nan")
+    return AttributionScore(
+        duration_vs_charged=pearson(d, c),
+        coverage=coverage,
+        mean_abs_error_ns=float(np.abs(c - t).mean()))

@@ -1,0 +1,82 @@
+"""ASCII plotting: terminal renderings of the paper's figures.
+
+No plotting dependency is available (or wanted) in the benchmark
+environment, so figures render as text: a block-character line chart
+for series (FTQ traces, scaling curves) and a horizontal bar chart for
+categorical comparisons (slowdown per pattern).  Good enough to *see*
+the shape the checks assert.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+__all__ = ["ascii_series", "ascii_bars", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: _t.Sequence[float]) -> str:
+    """One-line block-character rendering of a series."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot sparkline an empty series")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _BLOCKS[1] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 2) + 1
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def ascii_series(values: _t.Sequence[float], *, width: int = 72,
+                 height: int = 12, title: str | None = None,
+                 y_label: str = "") -> str:
+    """Multi-row line chart of one series (downsampled to ``width``)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be > 0")
+    if arr.size > width:
+        # Downsample by taking per-bucket means.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])
+                        if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo or 1.0
+    rows = []
+    levels = np.clip(((arr - lo) / span * (height - 1)).round().astype(int),
+                     0, height - 1)
+    for row in range(height - 1, -1, -1):
+        line = "".join("█" if lv >= row else " " for lv in levels)
+        label = f"{lo + span * row / (height - 1):>12.4g} |"
+        rows.append(label + line)
+    out = []
+    if title:
+        out.append(title)
+    if y_label:
+        out.append(f"  ({y_label})")
+    out.extend(rows)
+    out.append(" " * 13 + "-" * len(levels))
+    return "\n".join(out) + "\n"
+
+
+def ascii_bars(labels: _t.Sequence[str], values: _t.Sequence[float], *,
+               width: int = 50, title: str | None = None,
+               fmt: str = "{:.2f}") -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("cannot plot an empty bar chart")
+    vmax = max(max(values), 0)
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for lab, val in zip(labels, values):
+        bar = "█" * (round(width * val / vmax) if vmax > 0 else 0)
+        lines.append(f"{str(lab):>{label_w}} | {bar} {fmt.format(val)}")
+    return "\n".join(lines) + "\n"

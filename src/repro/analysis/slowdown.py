@@ -1,0 +1,82 @@
+"""Slowdown and noise-amplification metrics.
+
+The central quantities of the evaluation:
+
+* **slowdown** — ``T_noisy / T_quiet − 1`` for the same workload; the
+  figure-of-merit every scaling plot reports (as a percentage).
+* **amplification factor** — measured slowdown divided by the injected
+  net noise utilization.  A factor of 1 means the machine merely lost
+  the stolen cycles ("absorbed"); factors ≫ 1 mean collective dependency
+  chains multiplied them ("amplified"); < 1 means noise landed in slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlowdownResult", "slowdown", "amplification_factor"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlowdownResult:
+    """Comparison of a noisy run against its quiet baseline."""
+
+    quiet_ns: int
+    noisy_ns: int
+    injected_utilization: float
+
+    @property
+    def slowdown_fraction(self) -> float:
+        """``T_noisy/T_quiet − 1`` (may be negative only by model noise)."""
+        return self.noisy_ns / self.quiet_ns - 1.0
+
+    @property
+    def slowdown_percent(self) -> float:
+        return 100.0 * self.slowdown_fraction
+
+    @property
+    def amplification(self) -> float:
+        """Slowdown per unit of injected utilization.
+
+        ``float('nan')`` when nothing was injected (no meaningful ratio).
+        """
+        if self.injected_utilization <= 0:
+            return float("nan")
+        return self.slowdown_fraction / self.injected_utilization
+
+    @property
+    def verdict(self) -> str:
+        """Coarse classification used in the absorption table."""
+        amp = self.amplification
+        if amp != amp:  # NaN
+            return "baseline"
+        if amp < 0.5:
+            return "absorbed"
+        if amp <= 1.5:
+            return "transferred"
+        return "amplified"
+
+    def as_dict(self) -> dict[str, object]:
+        return {"quiet_ns": self.quiet_ns, "noisy_ns": self.noisy_ns,
+                "injected_pct": 100 * self.injected_utilization,
+                "slowdown_pct": self.slowdown_percent,
+                "amplification": self.amplification,
+                "verdict": self.verdict}
+
+
+def slowdown(quiet_ns: int, noisy_ns: int,
+             injected_utilization: float = 0.0) -> SlowdownResult:
+    """Build a :class:`SlowdownResult`, validating inputs."""
+    if quiet_ns <= 0:
+        raise ValueError(f"quiet_ns must be > 0, got {quiet_ns}")
+    if noisy_ns < 0:
+        raise ValueError(f"noisy_ns must be >= 0, got {noisy_ns}")
+    if not 0 <= injected_utilization < 1:
+        raise ValueError("injected_utilization must be in [0, 1)")
+    return SlowdownResult(quiet_ns, noisy_ns, injected_utilization)
+
+
+def amplification_factor(quiet_ns: int, noisy_ns: int,
+                         injected_utilization: float) -> float:
+    """Shortcut for ``slowdown(...).amplification``."""
+    return slowdown(quiet_ns, noisy_ns, injected_utilization).amplification

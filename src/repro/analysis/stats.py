@@ -1,0 +1,66 @@
+"""Summary statistics for timing series.
+
+Thin, explicit wrappers over NumPy so experiment code reads like the
+tables it produces (mean/median/p99/max/CoV), plus histogramming used
+by the FTQ/FWQ reports.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeriesStats", "summarize_series", "histogram"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesStats:
+    """Standard summary of one timing series (all times in ns)."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p95: float
+    p99: float
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std/mean); 0 for a flat series."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"n": self.n, "mean": self.mean, "median": self.median,
+                "std": self.std, "min": self.minimum, "max": self.maximum,
+                "p95": self.p95, "p99": self.p99, "cov": self.cov}
+
+
+def summarize_series(values: _t.Sequence[float] | np.ndarray) -> SeriesStats:
+    """Summarize a non-empty series."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    return SeriesStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+    )
+
+
+def histogram(values: _t.Sequence[float] | np.ndarray, bins: int = 50,
+              range_: tuple[float, float] | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges (NumPy convention)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty series")
+    return np.histogram(arr, bins=bins, range=range_)

@@ -1,0 +1,91 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark prints its figure/table as an aligned ASCII table (the
+terminal equivalent of the paper's plots) and can dump CSV for external
+plotting.  No plotting dependency is required or used.
+"""
+
+from __future__ import annotations
+
+import io
+import typing as _t
+
+__all__ = ["format_table", "format_csv", "format_ns", "format_pct"]
+
+Cell = _t.Union[str, int, float, None]
+
+
+def format_ns(ns: float) -> str:
+    """Human-scaled time: 1234 -> '1.23 us'."""
+    if ns != ns:  # NaN
+        return "-"
+    a = abs(ns)
+    if a >= 1e9:
+        return f"{ns / 1e9:.3g} s"
+    if a >= 1e6:
+        return f"{ns / 1e6:.3g} ms"
+    if a >= 1e3:
+        return f"{ns / 1e3:.3g} us"
+    return f"{ns:.0f} ns"
+
+
+def format_pct(fraction: float, digits: int = 1) -> str:
+    """0.025 -> '2.5%'; NaN -> '-'."""
+    if fraction != fraction:
+        return "-"
+    return f"{100 * fraction:.{digits}f}%"
+
+
+def _render_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:
+            return "-"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: _t.Sequence[str],
+                 rows: _t.Sequence[_t.Sequence[Cell]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned ASCII table (first column left, rest right)."""
+    if not headers:
+        raise ValueError("table needs headers")
+    grid = [[_render_cell(c) for c in row] for row in rows]
+    for row in grid:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers")
+    widths = [len(h) for h in headers]
+    for row in grid:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: _t.Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(fmt_row(list(headers)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in grid:
+        out.write(fmt_row(row) + "\n")
+    return out.getvalue()
+
+
+def format_csv(headers: _t.Sequence[str],
+               rows: _t.Sequence[_t.Sequence[Cell]]) -> str:
+    """Minimal CSV (no quoting needs beyond commas in our data)."""
+    def esc(cell: Cell) -> str:
+        text = _render_cell(cell)
+        return f'"{text}"' if ("," in text or '"' in text) else text
+
+    lines = [",".join(esc(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(esc(c) for c in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,31 @@
+"""Parallel application skeletons.
+
+Each skeleton reproduces one communication/computation *shape* from the
+paper's era of capability workloads — the numerics are elided because
+noise sensitivity is a property of grain size and dependency structure,
+not of the physics:
+
+* :class:`BSPApp` — compute + global collective (the analytic bridge);
+* :class:`POPLikeApp` — ocean model with an allreduce-storm solver
+  (most noise-sensitive);
+* :class:`StencilApp` — halo-exchange hydro (least sensitive);
+* :class:`SweepApp` — pipelined wavefront transport (in between);
+* :class:`CGLikeApp` — butterfly exchange + dot products (mixed);
+* :class:`TransposeApp` — FFT-like global transpose (alltoall-bound).
+"""
+
+from .base import ParallelApp, grid_dims
+from .cg import CGLikeApp
+from .pop_like import POPLikeApp
+from .stencil import StencilApp
+from .sweep3d import SweepApp
+from .synthetic_bsp import BSPApp
+from .transpose import TransposeApp
+from .workloads import WORKLOADS, build_workload, workload_names
+
+__all__ = [
+    "ParallelApp", "grid_dims",
+    "BSPApp", "POPLikeApp", "StencilApp", "SweepApp", "CGLikeApp",
+    "TransposeApp",
+    "WORKLOADS", "build_workload", "workload_names",
+]

@@ -1,0 +1,130 @@
+"""Application skeleton base class and instrumentation plumbing.
+
+A :class:`ParallelApp` is a factory of rank programs with built-in
+per-iteration timing: every app records iteration wall times per rank
+(cheaply, always) and additionally emits observer intervals when a
+:class:`~repro.ktau.KtauTracer` is bound.  The separation matters for
+experiment E7: the app's own lightweight timing exists even when the
+observer is off, so observer overhead can be measured against it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..mpi import RankComm
+from ..sim.rng import RandomTree
+
+__all__ = ["ParallelApp", "grid_dims"]
+
+
+def grid_dims(p: int) -> tuple[int, int]:
+    """Near-square 2D process grid ``(px, py)`` with ``px*py == p``.
+
+    Picks the factorization with the largest ``px <= sqrt(p)``; prime
+    ``p`` degenerates to ``(1, p)``.
+    """
+    if p <= 0:
+        raise ConfigError(f"p must be > 0, got {p}")
+    px = int(np.sqrt(p))
+    while px > 1 and p % px != 0:
+        px -= 1
+    return px, p // px
+
+
+class ParallelApp(ABC):
+    """Base class for the application skeletons.
+
+    Parameters
+    ----------
+    iterations:
+        Number of outer (timed) iterations.
+    name:
+        Workload label used in reports.
+    """
+
+    def __init__(self, iterations: int, name: str) -> None:
+        if iterations <= 0:
+            raise ConfigError(f"iterations must be > 0, got {iterations}")
+        self.iterations = iterations
+        self.name = name
+        #: rank -> [(start, end), ...] for each completed iteration.
+        self.iteration_times: dict[int, list[tuple[int, int]]] = {}
+        #: Observer bound via :meth:`bind_tracer` (optional).
+        self.tracer: _t.Any | None = None
+
+    # -- configuration ------------------------------------------------------
+    def bind_tracer(self, tracer: _t.Any) -> "ParallelApp":
+        """Emit ktau app intervals for every iteration (chainable)."""
+        self.tracer = tracer
+        return self
+
+    # -- the program --------------------------------------------------------------
+    @abstractmethod
+    def rank_program(self, ctx: RankComm) -> _t.Generator:
+        """The generator rank ``ctx.rank`` executes."""
+
+    def __call__(self, ctx: RankComm) -> _t.Generator:
+        """Apps are usable directly as :class:`~repro.core.RankProgram`."""
+        return self.rank_program(ctx)
+
+    # -- instrumentation helpers -----------------------------------------------------
+    @contextmanager
+    def iteration(self, ctx: RankComm, index: int) -> _t.Iterator[None]:
+        """Record one iteration (app-local timing + observer interval)."""
+        start = ctx.env.now
+        if self.tracer is not None:
+            with self.tracer.app_interval(ctx.node_id, f"{self.name}:iteration",
+                                          i=index):
+                yield
+        else:
+            yield
+        self.iteration_times.setdefault(ctx.rank, []).append((start, ctx.env.now))
+
+    @contextmanager
+    def phase(self, ctx: RankComm, name: str, **meta: _t.Any) -> _t.Iterator[None]:
+        """Record a named sub-phase (observer interval only).
+
+        Lets attribution distinguish e.g. a solver's communication
+        storm from the physics phase of the same iteration.  No-op
+        when no tracer is bound.
+        """
+        if self.tracer is not None:
+            with self.tracer.app_interval(ctx.node_id,
+                                          f"{self.name}:{name}", **meta):
+                yield
+        else:
+            yield
+
+    def _work_rng(self, ctx: RankComm, seed: int) -> np.random.Generator:
+        """Per-rank RNG for load-imbalance draws (stable across runs)."""
+        return RandomTree(seed).generator(f"app/{self.name}/rank{ctx.rank}")
+
+    # -- results ---------------------------------------------------------------------
+    def durations_ns(self, rank: int) -> list[int]:
+        """Wall time of each completed iteration on ``rank``."""
+        return [end - start for start, end in self.iteration_times.get(rank, [])]
+
+    def all_durations_ns(self) -> np.ndarray:
+        """Iteration durations across every rank, shape (ranks, iters)."""
+        if not self.iteration_times:
+            raise ConfigError(f"{self.name}: no iterations recorded yet")
+        ranks = sorted(self.iteration_times)
+        return np.array([self.durations_ns(r) for r in ranks], dtype=np.int64)
+
+    def makespan_ns(self) -> int:
+        """First iteration start to last iteration end, across ranks."""
+        if not self.iteration_times:
+            raise ConfigError(f"{self.name}: no iterations recorded yet")
+        first = min(ts[0][0] for ts in self.iteration_times.values())
+        last = max(ts[-1][1] for ts in self.iteration_times.values())
+        return last - first
+
+    def describe(self) -> dict[str, object]:
+        """Workload parameters for reports (extended by subclasses)."""
+        return {"app": self.name, "iterations": self.iterations}

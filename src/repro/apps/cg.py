@@ -1,0 +1,73 @@
+"""NPB-CG-like conjugate-gradient skeleton.
+
+Per iteration: sparse matrix-vector compute, a butterfly (hypercube)
+exchange pattern standing in for CG's row/column reductions, and two
+small dot-product allreduces.  A mixed workload: medium messages with
+log-depth pairwise structure plus latency-bound global sums.
+
+For non-power-of-two machine sizes the butterfly degenerates to a ring
+exchange (the partner structure no longer pairs up cleanly), which is
+also what production codes fall back to.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from ..mpi import RankComm
+from .base import ParallelApp
+
+__all__ = ["CGLikeApp"]
+
+
+class CGLikeApp(ParallelApp):
+    """SpMV + butterfly exchange + two dot-product allreduces.
+
+    Parameters
+    ----------
+    spmv_ns:
+        Compute grain of the sparse matrix-vector product.
+    exchange_bytes:
+        Per-partner message size in the butterfly/ring exchange.
+    iterations:
+        CG iterations.
+    """
+
+    def __init__(self, *, spmv_ns: int = 1_000_000,
+                 exchange_bytes: int = 16_384,
+                 iterations: int = 40) -> None:
+        super().__init__(iterations, "cg")
+        if spmv_ns < 0 or exchange_bytes < 0:
+            raise ConfigError("spmv_ns and exchange_bytes must be >= 0")
+        self.spmv_ns = spmv_ns
+        self.exchange_bytes = exchange_bytes
+
+    def rank_program(self, ctx: RankComm) -> _t.Generator:
+        P = ctx.size
+        pow2 = P > 1 and (P & (P - 1)) == 0
+        for i in range(self.iterations):
+            with self.iteration(ctx, i):
+                yield from ctx.compute(self.spmv_ns)
+                if P > 1:
+                    if pow2:
+                        stride = 1
+                        while stride < P:
+                            partner = ctx.rank ^ stride
+                            yield from ctx.sendrecv(partner, partner,
+                                                    self.exchange_bytes,
+                                                    tag=11)
+                            stride <<= 1
+                    else:
+                        right = (ctx.rank + 1) % P
+                        left = (ctx.rank - 1) % P
+                        yield from ctx.sendrecv(right, left,
+                                                self.exchange_bytes, tag=11)
+                    # Two dot products per CG iteration (rho and alpha).
+                    yield from ctx.allreduce(size=8, payload=1.0)
+                    yield from ctx.allreduce(size=8, payload=1.0)
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(spmv_ns=self.spmv_ns, exchange_bytes=self.exchange_bytes)
+        return d

@@ -1,0 +1,78 @@
+"""POP-like ocean-model skeleton.
+
+The Parallel Ocean Program's noise-famous structure: each timestep does
+a long *baroclinic* phase (3D physics, nearest-neighbour-friendly,
+coarse-grained) and then a *barotropic* solver — a conjugate-gradient
+iteration on the 2D free surface issuing **many tiny allreduces**
+(dot products) with almost no compute between them.  The barotropic
+phase is the most noise-sensitive communication pattern in production
+use and the reason POP became the noise literature's canary.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from ..mpi import RankComm
+from .base import ParallelApp
+
+__all__ = ["POPLikeApp"]
+
+
+class POPLikeApp(ParallelApp):
+    """Timesteps of baroclinic compute + allreduce-bound solver.
+
+    Parameters
+    ----------
+    baroclinic_ns:
+        Compute grain of the 3D physics phase per step.
+    solver_iterations:
+        CG iterations in the barotropic solve (each costing
+        ``solver_compute_ns`` + one small allreduce; production POP
+        runs dozens to hundreds per step).
+    solver_compute_ns:
+        Local work between solver allreduces (small: a few SpMV rows).
+    iterations:
+        Number of timesteps.
+    reduction_bytes:
+        Size of the solver's dot-product allreduce.
+    """
+
+    def __init__(self, *, baroclinic_ns: int = 5_000_000,
+                 solver_iterations: int = 40,
+                 solver_compute_ns: int = 50_000,
+                 iterations: int = 20,
+                 reduction_bytes: int = 16) -> None:
+        super().__init__(iterations, "pop")
+        if baroclinic_ns < 0 or solver_compute_ns < 0:
+            raise ConfigError("compute grains must be >= 0")
+        if solver_iterations <= 0:
+            raise ConfigError("solver_iterations must be > 0")
+        self.baroclinic_ns = baroclinic_ns
+        self.solver_iterations = solver_iterations
+        self.solver_compute_ns = solver_compute_ns
+        self.reduction_bytes = reduction_bytes
+
+    def rank_program(self, ctx: RankComm) -> _t.Generator:
+        for step in range(self.iterations):
+            with self.iteration(ctx, step):
+                # Baroclinic 3D physics: coarse compute.
+                with self.phase(ctx, "baroclinic", step=step):
+                    yield from ctx.compute(self.baroclinic_ns)
+                # Barotropic CG solve: tiny compute + global dot product,
+                # many times — the noise amplifier.
+                with self.phase(ctx, "barotropic", step=step):
+                    for _ in range(self.solver_iterations):
+                        yield from ctx.compute(self.solver_compute_ns)
+                        if ctx.size > 1:
+                            yield from ctx.allreduce(
+                                size=self.reduction_bytes, payload=1.0)
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(baroclinic_ns=self.baroclinic_ns,
+                 solver_iterations=self.solver_iterations,
+                 solver_compute_ns=self.solver_compute_ns,
+                 reduction_bytes=self.reduction_bytes)
+        return d

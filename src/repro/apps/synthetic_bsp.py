@@ -1,0 +1,92 @@
+"""Synthetic bulk-synchronous benchmark.
+
+The canonical noise-study microworkload: every rank computes a fixed
+grain, then everyone synchronizes.  Because nothing else happens, the
+measured iteration time *is* the noise-amplification curve — this is
+the workload the analytic model (:class:`repro.analysis.BSPModel`)
+describes exactly, making it the calibration bridge between simulation
+and theory (E10).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from ..mpi import RankComm
+from .base import ParallelApp
+
+__all__ = ["BSPApp"]
+
+
+class BSPApp(ParallelApp):
+    """Compute ``work_ns`` then synchronize, ``iterations`` times.
+
+    Parameters
+    ----------
+    work_ns:
+        Per-iteration compute grain per rank.
+    iterations:
+        Outer iterations.
+    collective:
+        ``"allreduce"`` (default — data-carrying global sum),
+        ``"barrier"``, or ``"none"`` (embarrassingly parallel control).
+    message_size:
+        Bytes carried by the allreduce.
+    imbalance:
+        Fractional uniform load imbalance: each rank's grain each
+        iteration is drawn from ``work*(1 ± imbalance)``.  Zero keeps
+        ranks perfectly balanced so all delay comes from noise.
+    algorithm:
+        Collective algorithm name (ablation knob).
+    seed:
+        Seed for imbalance draws.
+    """
+
+    def __init__(self, work_ns: int, iterations: int = 50, *,
+                 collective: str = "allreduce", message_size: int = 8,
+                 imbalance: float = 0.0, algorithm: str | None = None,
+                 seed: int = 0) -> None:
+        super().__init__(iterations, "bsp")
+        if work_ns < 0:
+            raise ConfigError("work_ns must be >= 0")
+        if collective not in ("allreduce", "barrier", "none"):
+            raise ConfigError(f"unknown collective {collective!r}")
+        if not 0 <= imbalance < 1:
+            raise ConfigError("imbalance must be in [0, 1)")
+        self.work_ns = work_ns
+        self.collective = collective
+        self.message_size = message_size
+        self.imbalance = imbalance
+        self.algorithm = algorithm
+        self.seed = seed
+
+    def rank_program(self, ctx: RankComm) -> _t.Generator:
+        rng = self._work_rng(ctx, self.seed) if self.imbalance else None
+        for i in range(self.iterations):
+            with self.iteration(ctx, i):
+                work = self.work_ns
+                if rng is not None:
+                    lo = 1.0 - self.imbalance
+                    hi = 1.0 + self.imbalance
+                    work = int(work * rng.uniform(lo, hi))
+                yield from ctx.compute(work)
+                if ctx.size > 1:
+                    if self.collective == "allreduce":
+                        kwargs = {}
+                        if self.algorithm:
+                            kwargs["algorithm"] = self.algorithm
+                        yield from ctx.allreduce(size=self.message_size,
+                                                 payload=1, **kwargs)
+                    elif self.collective == "barrier":
+                        kwargs = {}
+                        if self.algorithm:
+                            kwargs["algorithm"] = self.algorithm
+                        yield from ctx.barrier(**kwargs)
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(work_ns=self.work_ns, collective=self.collective,
+                 message_size=self.message_size, imbalance=self.imbalance,
+                 algorithm=self.algorithm or "default")
+        return d

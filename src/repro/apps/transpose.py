@@ -1,0 +1,70 @@
+"""FFT-like transpose skeleton (alltoall-dominated).
+
+Spectral/pseudo-spectral solvers transpose the global array every
+timestep: an ``MPI_Alltoall`` whose per-pair message size shrinks as
+1/P while the message *count* grows as P.  Under noise this stresses a
+different axis than POP's latency-bound allreduces: every rank talks to
+every rank, so a single struck node back-pressures all P−1 partners at
+once.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from ..mpi import RankComm
+from .base import ParallelApp
+
+__all__ = ["TransposeApp"]
+
+
+class TransposeApp(ParallelApp):
+    """Compute + global transpose (alltoall), twice per iteration.
+
+    Parameters
+    ----------
+    work_ns:
+        Per-iteration local FFT compute.
+    total_bytes:
+        Global array size; each of the P*P transfers carries
+        ``total_bytes / P**2`` bytes (at least 1).
+    iterations:
+        Timesteps (each does forward + inverse transpose).
+    algorithm:
+        Alltoall algorithm (ablation knob).
+    """
+
+    def __init__(self, *, work_ns: int = 2_000_000,
+                 total_bytes: int = 4 << 20, iterations: int = 20,
+                 algorithm: str | None = None) -> None:
+        super().__init__(iterations, "transpose")
+        if work_ns < 0 or total_bytes <= 0:
+            raise ConfigError("work_ns must be >= 0 and total_bytes > 0")
+        self.work_ns = work_ns
+        self.total_bytes = total_bytes
+        self.algorithm = algorithm
+
+    def block_bytes(self, p: int) -> int:
+        """Per-pair message size at machine size ``p``."""
+        return max(1, self.total_bytes // (p * p))
+
+    def rank_program(self, ctx: RankComm) -> _t.Generator:
+        block = self.block_bytes(ctx.size)
+        kwargs: dict[str, _t.Any] = {}
+        if self.algorithm:
+            kwargs["algorithm"] = self.algorithm
+        for i in range(self.iterations):
+            with self.iteration(ctx, i):
+                yield from ctx.compute(self.work_ns)
+                if ctx.size > 1:
+                    yield from ctx.alltoall(size=block, **kwargs)
+                yield from ctx.compute(self.work_ns)
+                if ctx.size > 1:
+                    yield from ctx.alltoall(size=block, **kwargs)
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(work_ns=self.work_ns, total_bytes=self.total_bytes,
+                 algorithm=self.algorithm or "default")
+        return d

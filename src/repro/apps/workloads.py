@@ -1,0 +1,45 @@
+"""Workload registry: build application skeletons by name.
+
+Experiment configs refer to workloads by string; the registry maps
+names to factories with benchmark-sized defaults that can be overridden
+via keyword arguments (every app parameter is reachable).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from .base import ParallelApp
+from .cg import CGLikeApp
+from .pop_like import POPLikeApp
+from .stencil import StencilApp
+from .sweep3d import SweepApp
+from .synthetic_bsp import BSPApp
+from .transpose import TransposeApp
+
+__all__ = ["WORKLOADS", "build_workload", "workload_names"]
+
+WORKLOADS: dict[str, _t.Callable[..., ParallelApp]] = {
+    "bsp": lambda **kw: BSPApp(**{"work_ns": 1_000_000, "iterations": 50, **kw}),
+    "pop": POPLikeApp,
+    "stencil": StencilApp,
+    "sweep": SweepApp,
+    "cg": CGLikeApp,
+    "transpose": TransposeApp,
+}
+
+
+def workload_names() -> list[str]:
+    """Registered workload names (reporting order)."""
+    return list(WORKLOADS)
+
+
+def build_workload(name: str, **overrides: _t.Any) -> ParallelApp:
+    """Instantiate a workload by name with parameter overrides."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {workload_names()}") from None
+    return factory(**overrides)

@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show available experiments, workloads, kernel/network presets, and
+    noise patterns.
+``run E4 [--scale small|full] [--csv out.csv]``
+    Run one harness experiment and print its report (optionally dump
+    the table as CSV).
+``all [--scale ...] [--markdown EXPERIMENTS.md]``
+    Run the whole evaluation; print the pass/fail summary (optionally
+    write the full markdown report).
+``compare --app pop --nodes 32 --pattern 2.5pct@10Hz [--seed N] ...``
+    One noisy-vs-quiet comparison, printed as a one-row table.
+``characterize --kernel commodity-linux [--nodes N] [--seconds S]``
+    Measure a kernel's noise signature with the indirect tool suite
+    (FTQ spectrum, selfish detours, PSNAP fleet census).
+``sweep --app pop --nodes 4,16,64 --patterns 2.5pct@10Hz,2.5pct@1000Hz``
+    Scaling sweep with shared quiet baselines; prints the slowdown
+    table (optionally ``--csv out.csv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from .analysis import format_table
+from .apps import workload_names
+from .core import ExperimentConfig, run_with_baseline
+from .errors import ReproError
+from .harness import experiment_ids, render_markdown, render_summary
+from .harness import run_all as harness_run_all
+from .harness import run_experiment as harness_run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ghost in the Machine: kernel-noise observation "
+                    "framework (SC'07 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show experiments, workloads, presets")
+
+    p_run = sub.add_parser("run", help="run one harness experiment")
+    p_run.add_argument("experiment", help="experiment id, e.g. E4")
+    p_run.add_argument("--scale", default="small", choices=["small", "full"])
+    p_run.add_argument("--csv", metavar="PATH",
+                       help="also write the table as CSV")
+
+    p_all = sub.add_parser("all", help="run the whole evaluation")
+    p_all.add_argument("--scale", default="small", choices=["small", "full"])
+    p_all.add_argument("--markdown", metavar="PATH",
+                       help="write the full report (EXPERIMENTS.md style)")
+
+    p_cmp = sub.add_parser("compare", help="one noisy-vs-quiet comparison")
+    p_cmp.add_argument("--app", default="bsp", choices=workload_names())
+    p_cmp.add_argument("--nodes", type=int, default=16)
+    p_cmp.add_argument("--pattern", default="2.5pct@10Hz")
+    p_cmp.add_argument("--alignment", default="random",
+                       choices=["random", "synchronized", "staggered"])
+    p_cmp.add_argument("--kernel", default="lightweight")
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--isolate-noise", action="store_true")
+
+    p_chr = sub.add_parser("characterize",
+                           help="measure a kernel's noise signature")
+    p_chr.add_argument("--kernel", default="commodity-linux")
+    p_chr.add_argument("--pattern", default="quiet",
+                       help="extra injected noise (default none)")
+    p_chr.add_argument("--nodes", type=int, default=8)
+    p_chr.add_argument("--seconds", type=float, default=2.0)
+    p_chr.add_argument("--seed", type=int, default=0)
+
+    p_swp = sub.add_parser("sweep", help="scaling sweep with baselines")
+    p_swp.add_argument("--app", default="bsp", choices=workload_names())
+    p_swp.add_argument("--nodes", default="4,16,64",
+                       help="comma-separated node counts")
+    p_swp.add_argument("--patterns", default="2.5pct@10Hz,2.5pct@1000Hz",
+                       help="comma-separated noise patterns")
+    p_swp.add_argument("--kernel", default="lightweight")
+    p_swp.add_argument("--seed", type=int, default=0)
+    p_swp.add_argument("--csv", metavar="PATH")
+    return parser
+
+
+def _cmd_list(out: _t.TextIO) -> int:
+    from .noise import pattern_names
+
+    out.write("experiments: " + " ".join(experiment_ids()) + "\n")
+    out.write("workloads:   " + " ".join(workload_names()) + "\n")
+    out.write("kernels:     lightweight commodity-linux tuned-linux\n")
+    out.write("networks:    seastar infiniband gige\n")
+    out.write("patterns:    " + " ".join(pattern_names())
+              + "  (grammar: <pct>pct@<freq>Hz[poisson])\n")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out: _t.TextIO) -> int:
+    report = harness_run_experiment(args.experiment.upper(), args.scale)
+    out.write(report.render())
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(report.csv())
+        out.write(f"csv written to {args.csv}\n")
+    return 0 if report.passed else 1
+
+
+def _cmd_all(args: argparse.Namespace, out: _t.TextIO) -> int:
+    reports = harness_run_all(args.scale,
+                              progress=lambda s: out.write(s + "\n"))
+    out.write("\n" + render_summary(reports))
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write(render_markdown(reports, scale=args.scale))
+        out.write(f"report written to {args.markdown}\n")
+    return 0 if all(r.passed for r in reports.values()) else 1
+
+
+def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
+    cmp = run_with_baseline(ExperimentConfig(
+        app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
+        alignment=args.alignment, kernel=args.kernel, seed=args.seed,
+        isolate_noise=args.isolate_noise))
+    sd = cmp.slowdown
+    out.write(format_table(
+        ["app", "nodes", "pattern", "quiet ms", "noisy ms", "slowdown %",
+         "amplification", "verdict"],
+        [[args.app, args.nodes, args.pattern,
+          round(cmp.quiet.makespan_ns / 1e6, 3),
+          round(cmp.noisy.makespan_ns / 1e6, 3),
+          round(sd.slowdown_percent, 2), round(sd.amplification, 2),
+          sd.verdict]]))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace, out: _t.TextIO) -> int:
+    import numpy as np
+
+    from .analysis import find_peaks
+    from .core import Machine, MachineConfig
+    from .microbench import FTQBenchmark, PSNAPBenchmark, SelfishBenchmark
+    from .noise import InjectionPlan
+    from .sim import MS, ns_from_s
+
+    injection = (None if args.pattern.strip().lower() in ("quiet", "none")
+                 else InjectionPlan(args.pattern, seed=args.seed))
+    machine = Machine(MachineConfig(n_nodes=args.nodes, kernel=args.kernel,
+                                    injection=injection, seed=args.seed))
+    window = ns_from_s(args.seconds)
+    node = machine.nodes[0]
+
+    ftq = FTQBenchmark(n_quanta=max(64, window // MS)).run(node, start_time=0)
+    peaks = find_peaks(ftq.spectrum(), top=4)
+    selfish = SelfishBenchmark(window_ns=window).run(node, start_time=0)
+    psnap = PSNAPBenchmark(n_samples=512).run(machine)
+
+    out.write(f"kernel {args.kernel!r}, {args.nodes} nodes, "
+              f"{args.seconds:.1f} s window, pattern={args.pattern}\n\n")
+    out.write(f"FTQ (node 0): {100 * ftq.noise_fraction:.3f}% CPU lost, "
+              f"count CoV {ftq.stats().cov:.5f}\n")
+    from .analysis import sparkline
+    counts = ftq.counts
+    if counts.size > 72:
+        edges = np.linspace(0, counts.size, 73).astype(int)
+        counts = np.array([counts[a:b].min()
+                           for a, b in zip(edges, edges[1:]) if b > a])
+    out.write("  counts (dips = noise): " + sparkline(counts) + "\n")
+    if peaks:
+        out.write("  spectral peaks: "
+                  + ", ".join(f"{p.frequency_hz:.1f} Hz" for p in peaks)
+                  + "\n")
+    else:
+        out.write("  spectral peaks: none (flat)\n")
+    durs = selfish.durations_ns()
+    out.write(f"selfish (node 0): {selfish.count} detours >= 1 us; ")
+    if selfish.count:
+        out.write(f"median {float(np.median(durs)) / 1e3:.1f} us, "
+                  f"max {int(durs.max()) / 1e3:.1f} us\n")
+    else:
+        out.write("none detected\n")
+    stats = psnap.machine_stats()
+    out.write(f"PSNAP fleet: per-node noise {100 * stats.minimum:.3f}% .. "
+              f"{100 * stats.maximum:.3f}% "
+              f"(imbalance {psnap.imbalance_ratio():.2f}x)\n")
+    worst = psnap.noisiest_nodes(3)
+    out.write("  noisiest nodes: "
+              + ", ".join(f"{n} ({100 * f:.3f}%)" for n, f in worst) + "\n")
+    return 0
+
+
+
+def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
+    from .analysis import format_csv
+    from .core import sweep_records
+
+    nodes = [int(x) for x in args.nodes.split(",") if x]
+    patterns = [x.strip() for x in args.patterns.split(",") if x.strip()]
+    base = ExperimentConfig(app=args.app, kernel=args.kernel, seed=args.seed)
+    records = sweep_records(base, nodes=nodes, patterns=patterns,
+                            progress=lambda s: out.write(s + "\n"))
+    headers = ["app", "nodes", "pattern", "makespan ms", "slowdown %",
+               "amplification"]
+    rows = []
+    for r in records:
+        rows.append([r["app"], r["nodes"], r["pattern"],
+                     round(r["makespan_ns"] / 1e6, 3),
+                     round(r.get("slowdown_pct", 0.0), 2),
+                     round(r["amplification"], 2)
+                     if "amplification" in r else None])
+    out.write(format_table(headers, rows, title=f"sweep: {args.app}"))
+    if args.csv:
+        keys = sorted({k for r in records for k in r})
+        with open(args.csv, "w") as f:
+            f.write(format_csv(keys, [[r.get(k) for k in keys]
+                                      for r in records]))
+        out.write(f"csv written to {args.csv}\n")
+    return 0
+
+
+def main(argv: _t.Sequence[str] | None = None,
+         out: _t.TextIO | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "all":
+            return _cmd_all(args, out)
+        if args.command == "compare":
+            return _cmd_compare(args, out)
+        if args.command == "characterize":
+            return _cmd_characterize(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover

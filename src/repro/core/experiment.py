@@ -1,0 +1,128 @@
+"""Single-experiment runner: config in, result out.
+
+:class:`ExperimentConfig` names everything a run needs — workload,
+machine size, kernel, network, injected-noise pattern and alignment,
+seed, optional observer — and :func:`run_experiment` executes it.
+:func:`run_with_baseline` pairs a noisy run with its quiet twin and
+returns the slowdown comparison the evaluation tables are built from.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field, replace
+
+from ..apps import build_workload
+from ..errors import ConfigError
+from ..kernel import KernelConfig
+from ..ktau import KtauTracer, OverheadModel
+from ..net import LogGPParams
+from ..noise import InjectionPlan, parse_pattern
+from .machine import Machine, MachineConfig
+from .results import ComparisonResult, RunResult
+
+__all__ = ["ExperimentConfig", "run_experiment", "run_with_baseline"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Declarative description of one run.
+
+    Attributes
+    ----------
+    app:
+        Workload name from :mod:`repro.apps.workloads`.
+    nodes:
+        Machine size.
+    noise_pattern:
+        Injection spec (``"quiet"``, ``"2.5pct@100Hz"``, ...).
+    alignment:
+        Cross-node noise alignment (see
+        :class:`~repro.noise.InjectionPlan`).
+    kernel / network / topology:
+        Machine substrate (presets or instances, as in
+        :class:`~repro.core.MachineConfig`).
+    app_params:
+        Keyword overrides for the workload factory.
+    observer:
+        ``None`` (off), ``"profile"``, or ``"trace"``.
+    observer_overhead:
+        Overhead preset/model (defaults to matching the observer level).
+    seed:
+        Root seed for every stochastic stream.
+    isolate_noise:
+        Core specialization (see :class:`~repro.core.MachineConfig`).
+    """
+
+    app: str = "bsp"
+    nodes: int = 16
+    noise_pattern: str = "quiet"
+    alignment: str = "random"
+    kernel: KernelConfig | str = "lightweight"
+    network: LogGPParams | str = "seastar"
+    topology: _t.Any = "switch"
+    app_params: dict[str, _t.Any] = field(default_factory=dict)
+    observer: str | None = None
+    observer_overhead: OverheadModel | str | None = None
+    seed: int = 0
+    isolate_noise: bool = False
+
+    def injected_utilization(self) -> float:
+        """Nominal utilization of the injected pattern (0 for quiet)."""
+        return parse_pattern(self.noise_pattern, seed=self.seed).utilization
+
+    def machine_config(self) -> MachineConfig:
+        probe = parse_pattern(self.noise_pattern, seed=self.seed)
+        injection = (None if probe.utilization == 0
+                     else InjectionPlan(self.noise_pattern,
+                                        alignment=self.alignment,
+                                        seed=self.seed))
+        return MachineConfig(n_nodes=self.nodes, kernel=self.kernel,
+                             network=self.network, topology=self.topology,
+                             injection=injection, seed=self.seed,
+                             isolate_noise=self.isolate_noise)
+
+    def quiet_twin(self) -> "ExperimentConfig":
+        """The same experiment with no injected noise."""
+        return replace(self, noise_pattern="quiet")
+
+
+def run_experiment(config: ExperimentConfig,
+                   *, return_tracer: bool = False
+                   ) -> RunResult | tuple[RunResult, KtauTracer]:
+    """Execute one experiment; optionally return the observer too."""
+    machine = Machine(config.machine_config())
+    tracer: KtauTracer | None = None
+    if config.observer is not None:
+        overhead = config.observer_overhead
+        if overhead is None:
+            overhead = config.observer  # matching preset name
+        tracer = KtauTracer(machine, level=config.observer,
+                            overhead=overhead)
+    app = build_workload(config.app, **config.app_params)
+    if tracer is not None:
+        app.bind_tracer(tracer)
+    procs = machine.launch(app)
+    machine.run_to_completion(procs)
+    result = RunResult(
+        app=config.app, n_nodes=config.nodes, pattern=config.noise_pattern,
+        seed=config.seed, makespan_ns=app.makespan_ns(),
+        iteration_durations_ns=app.all_durations_ns(),
+        injected_utilization=config.injected_utilization(),
+        events_processed=machine.env.events_processed,
+        meta={"workload": app.describe(),
+              "kernel": machine.config.kernel_config().name})
+    if return_tracer:
+        if tracer is None:
+            raise ConfigError("return_tracer requires observer to be enabled")
+        return result, tracer
+    return result
+
+
+def run_with_baseline(config: ExperimentConfig) -> ComparisonResult:
+    """Run ``config`` and its quiet twin; return the comparison."""
+    if config.noise_pattern.strip().lower() in ("quiet", "none", "off"):
+        raise ConfigError("run_with_baseline needs a noisy configuration")
+    quiet = _t.cast(RunResult, run_experiment(config.quiet_twin()))
+    noisy = _t.cast(RunResult, run_experiment(config))
+    return ComparisonResult(quiet=quiet, noisy=noisy)

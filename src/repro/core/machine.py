@@ -1,0 +1,180 @@
+"""Machine assembly: nodes + kernels + noise + network + MPI in one call.
+
+:class:`MachineConfig` is the single declarative description of the
+simulated system; :class:`Machine` materializes it and launches rank
+programs.  This is the main entry point applications and experiments
+build on::
+
+    machine = Machine(MachineConfig(n_nodes=64, kernel="commodity-linux",
+                                    injection=InjectionPlan("2.5pct@10Hz"),
+                                    seed=7))
+    procs = machine.launch(my_rank_program)
+    machine.run()
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..kernel import KernelConfig, Node
+from ..mpi import Communicator, MPIWorld, RankComm
+from ..net import (
+    GraphTopology,
+    LogGPParams,
+    Network,
+    SwitchTopology,
+    Topology,
+    TorusTopology,
+)
+from ..noise import InjectionPlan
+from ..sim import Environment, Process
+
+__all__ = ["MachineConfig", "Machine", "RankProgram"]
+
+#: A rank program: called with the rank's messaging context, returns the
+#: generator the simulator drives.
+RankProgram = _t.Callable[[RankComm], _t.Generator]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Declarative description of the simulated machine.
+
+    Attributes
+    ----------
+    n_nodes:
+        Machine size (one rank per node).
+    kernel:
+        :class:`KernelConfig` or preset name
+        (``lightweight`` / ``commodity-linux`` / ``tuned-linux``).
+    network:
+        :class:`LogGPParams` or preset name
+        (``seastar`` / ``infiniband`` / ``gige``).
+    topology:
+        ``"switch"``, ``"torus:AxBxC"``, ``"fat-tree"``, or a
+        :class:`Topology` instance.
+    injection:
+        Synthetic noise to inject on top of the kernel's own activity
+        (``None`` = only the kernel's intrinsic noise).
+    seed:
+        Root seed for every stochastic stream in the machine.
+    reduce_cost_per_byte:
+        CPU ns per byte for reduction arithmetic.
+    isolate_noise:
+        Core specialization on every node: kernel background activity
+        and NIC rx processing run on a spare core instead of preempting
+        the application (injected patterns still strike the app core).
+    slow_nodes:
+        Optional mapping ``node id -> relative clock rate`` marking
+        degraded nodes (e.g. ``{17: 0.9}`` = node 17 runs at 90%).
+    """
+
+    n_nodes: int = 4
+    kernel: KernelConfig | str = "lightweight"
+    network: LogGPParams | str = "seastar"
+    topology: Topology | str = "switch"
+    injection: InjectionPlan | None = None
+    seed: int = 0
+    reduce_cost_per_byte: float = 0.25
+    isolate_noise: bool = False
+    #: node id -> relative clock rate for degraded ("sick") nodes.
+    slow_nodes: _t.Mapping[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigError(f"n_nodes must be > 0, got {self.n_nodes}")
+        for nid, speed in (self.slow_nodes or {}).items():
+            if not 0 <= nid < self.n_nodes:
+                raise ConfigError(f"slow_nodes id {nid} out of range")
+            if speed <= 0:
+                raise ConfigError(f"slow_nodes speed must be > 0, got {speed}")
+
+    # -- resolution helpers -------------------------------------------------
+    def kernel_config(self) -> KernelConfig:
+        if isinstance(self.kernel, KernelConfig):
+            return self.kernel
+        return KernelConfig.preset(self.kernel)
+
+    def network_params(self) -> LogGPParams:
+        if isinstance(self.network, LogGPParams):
+            return self.network
+        return LogGPParams.preset(self.network)
+
+    def build_topology(self) -> Topology:
+        if isinstance(self.topology, Topology):
+            if self.topology.n_nodes != self.n_nodes:
+                raise ConfigError("topology size does not match n_nodes")
+            return self.topology
+        if self.topology == "switch":
+            return SwitchTopology(self.n_nodes)
+        if self.topology == "fat-tree":
+            return GraphTopology.fat_tree_like(self.n_nodes)
+        if self.topology.startswith("torus:"):
+            dims = tuple(int(d) for d in self.topology[len("torus:"):].split("x"))
+            topo = TorusTopology(dims)
+            if topo.n_nodes != self.n_nodes:
+                raise ConfigError(
+                    f"torus {dims} has {topo.n_nodes} nodes, config says "
+                    f"{self.n_nodes}")
+            return topo
+        raise ConfigError(f"unknown topology spec {self.topology!r}")
+
+
+class Machine:
+    """A fully wired simulated machine ready to run rank programs."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        kernel_cfg = config.kernel_config()
+        plan = config.injection
+        self.nodes: list[Node] = []
+        for i in range(config.n_nodes):
+            injected = ([plan.source_for(i, config.n_nodes)]
+                        if plan is not None else None)
+            speed = (config.slow_nodes or {}).get(i, 1.0)
+            self.nodes.append(Node(self.env, i, kernel_cfg,
+                                   injected=injected, seed=config.seed,
+                                   isolate_noise=config.isolate_noise,
+                                   cpu_speed=speed))
+        self.network = Network(self.env, self.nodes,
+                               params=config.network_params(),
+                               topology=config.build_topology(),
+                               seed=config.seed)
+        self.mpi = MPIWorld(self.env, self.network,
+                            reduce_cost_per_byte=config.reduce_cost_per_byte)
+
+    # -- convenience accessors ------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def context(self, rank: int, comm: Communicator | None = None) -> RankComm:
+        """Messaging context for one rank (mostly for tests/probes)."""
+        return self.mpi.rank_context(rank, comm)
+
+    # -- execution ----------------------------------------------------------------
+    def launch(self, program: RankProgram,
+               comm: Communicator | None = None,
+               ranks: _t.Iterable[int] | None = None) -> list[Process]:
+        """Spawn ``program`` on every rank (or the given subset)."""
+        comm = comm or self.mpi.world
+        which = range(comm.size) if ranks is None else ranks
+        procs = []
+        for rank in which:
+            ctx = self.mpi.rank_context(rank, comm)
+            procs.append(self.env.process(program(ctx),
+                                          name=f"rank{rank}"))
+        return procs
+
+    def run(self, until: int | Process | None = None) -> object:
+        """Drive the simulation (see :meth:`repro.sim.Environment.run`)."""
+        return self.env.run(until=until)
+
+    def run_to_completion(self, procs: _t.Sequence[Process]) -> int:
+        """Run until every given process finishes; returns finish time."""
+        done = self.env.all_of(list(procs))
+        self.env.run(until=done)
+        return self.env.now

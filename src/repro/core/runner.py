@@ -1,0 +1,62 @@
+"""Parameter-sweep runner: the engine behind the scaling figures.
+
+A sweep crosses machine sizes with noise patterns (and optionally other
+config axes), reusing one quiet baseline per machine size, and yields
+flat record dicts ready for :func:`repro.analysis.format_table`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import replace
+
+from ..errors import ConfigError
+from .experiment import ExperimentConfig, run_experiment
+from .results import ComparisonResult, RunResult
+
+__all__ = ["sweep", "sweep_records"]
+
+
+def sweep(base: ExperimentConfig, *, nodes: _t.Sequence[int],
+          patterns: _t.Sequence[str],
+          progress: _t.Callable[[str], None] | None = None
+          ) -> dict[tuple[int, str], ComparisonResult | RunResult]:
+    """Cross ``nodes`` x ``patterns``; quiet baselines are shared.
+
+    Returns a mapping from ``(n_nodes, pattern)`` to a
+    :class:`ComparisonResult` (noisy patterns) or bare
+    :class:`RunResult` (the quiet point itself).
+    """
+    if not nodes or not patterns:
+        raise ConfigError("sweep needs at least one node count and pattern")
+    results: dict[tuple[int, str], ComparisonResult | RunResult] = {}
+    for p in nodes:
+        quiet_cfg = replace(base, nodes=p, noise_pattern="quiet")
+        if progress:
+            progress(f"quiet baseline P={p}")
+        quiet = _t.cast(RunResult, run_experiment(quiet_cfg))
+        for pattern in patterns:
+            if pattern.strip().lower() in ("quiet", "none", "off"):
+                results[(p, pattern)] = quiet
+                continue
+            if progress:
+                progress(f"P={p} pattern={pattern}")
+            noisy_cfg = replace(base, nodes=p, noise_pattern=pattern)
+            noisy = _t.cast(RunResult, run_experiment(noisy_cfg))
+            results[(p, pattern)] = ComparisonResult(quiet=quiet, noisy=noisy)
+    return results
+
+
+def sweep_records(base: ExperimentConfig, *, nodes: _t.Sequence[int],
+                  patterns: _t.Sequence[str],
+                  progress: _t.Callable[[str], None] | None = None
+                  ) -> list[dict[str, _t.Any]]:
+    """Flat dict-per-point records (for tables/CSV)."""
+    out = []
+    for (p, pattern), res in sweep(base, nodes=nodes, patterns=patterns,
+                                   progress=progress).items():
+        record = res.as_dict()
+        record.setdefault("nodes", p)
+        record.setdefault("pattern", pattern)
+        out.append(record)
+    return out

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An experiment, machine, kernel, or noise configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Raised by :meth:`repro.sim.Environment.run` when ``run()`` was asked
+    to run to completion but live processes remain blocked on events that
+    can never fire (e.g. a receive with no matching send).
+    """
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI layer (bad rank, tag, communicator)."""
+
+
+class TraceError(ReproError):
+    """The observer (ktau) was asked for data it never recorded."""

@@ -1,0 +1,23 @@
+"""The paper-experiment harness: E1–E10, one module each.
+
+Each experiment regenerates one table/figure of the evaluation with
+executable *shape checks* (DESIGN.md's reproduction criteria)::
+
+    from repro.harness import run_experiment, run_all, render_markdown
+
+    report = run_experiment("E4")       # one experiment
+    print(report.render())
+
+    reports = run_all("small")          # the whole evaluation
+    open("EXPERIMENTS.md", "w").write(render_markdown(reports))
+"""
+
+from .base import ExperimentReport, Scale
+from .registry import EXPERIMENTS, experiment_ids, run_all, run_experiment
+from .report import render_markdown, render_summary
+
+__all__ = [
+    "ExperimentReport", "Scale",
+    "EXPERIMENTS", "experiment_ids", "run_experiment", "run_all",
+    "render_markdown", "render_summary",
+]

@@ -1,0 +1,71 @@
+"""Experiment registry: look experiments up by id, run them in bulk."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from .base import ExperimentReport, Scale
+from .experiments import (
+    e1_ftq_spectra,
+    e2_kernel_profile,
+    e3_collective_scaling,
+    e4_app_scaling,
+    e5_absorption_table,
+    e6_attribution,
+    e7_observer_overhead,
+    e8_nic_coupling,
+    e9_synchronization,
+    e10_analytic_model,
+    e11_core_isolation,
+    e12_algorithm_ablation,
+    e13_network_substrate,
+    e14_indirect_vs_direct,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
+
+_MODULES = (
+    e1_ftq_spectra, e2_kernel_profile, e3_collective_scaling,
+    e4_app_scaling, e5_absorption_table, e6_attribution,
+    e7_observer_overhead, e8_nic_coupling, e9_synchronization,
+    e10_analytic_model,
+    e11_core_isolation,
+    e12_algorithm_ablation,
+    e13_network_substrate,
+    e14_indirect_vs_direct,
+)
+
+#: id -> (title, run callable).
+EXPERIMENTS: dict[str, tuple[str, _t.Callable[..., ExperimentReport]]] = {
+    mod.EXPERIMENT_ID: (mod.TITLE, mod.run) for mod in _MODULES
+}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment ids in numeric order."""
+    return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+
+
+def run_experiment(experiment_id: str, scale: Scale = "small",
+                   **kwargs: _t.Any) -> ExperimentReport:
+    """Run one experiment by id."""
+    try:
+        _title, fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {experiment_ids()}") from None
+    return fn(scale, **kwargs)
+
+
+def run_all(scale: Scale = "small",
+            progress: _t.Callable[[str], None] | None = None
+            ) -> dict[str, ExperimentReport]:
+    """Run every experiment; returns reports keyed by id."""
+    out = {}
+    for eid in experiment_ids():
+        if progress:
+            progress(f"running {eid}: {EXPERIMENTS[eid][0]}")
+        out[eid] = run_experiment(eid, scale)
+    return out

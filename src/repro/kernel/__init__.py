@@ -1,0 +1,26 @@
+"""Per-node operating-system kernel model.
+
+A :class:`KernelConfig` declares what the node's OS does in the
+background — timer interrupts (with occasionally-heavy ticks), a daemon
+population, syscall costs, and NIC packet-processing costs.
+:func:`build_kernel_noise` turns that into per-activity
+:class:`~repro.noise.NoiseSource` streams, and :class:`Node` / its
+:class:`CPU` execute application work under that interference.
+
+Presets::
+
+    KernelConfig.lightweight()       # tickless, daemonless baseline
+    KernelConfig.commodity_linux()   # HZ=1000 + standard daemons
+    KernelConfig.tuned_linux()       # HZ=100, trimmed daemons
+"""
+
+from .activities import TIMER_SOURCE, build_kernel_noise, build_kernel_sources
+from .config import DaemonSpec, KernelConfig, NICCostModel
+from .cpu import CPU
+from .node import Node
+
+__all__ = [
+    "KernelConfig", "DaemonSpec", "NICCostModel",
+    "CPU", "Node",
+    "build_kernel_noise", "build_kernel_sources", "TIMER_SOURCE",
+]

@@ -1,0 +1,86 @@
+"""Materialize a :class:`KernelConfig` into concrete noise sources.
+
+Each kernel activity becomes one named :class:`~repro.noise.NoiseSource`
+stream so the observer can attribute stolen time *per activity* — the
+timer interrupt is ``"timer-irq"``, each daemon keeps its own name.
+Activity phases and stochastic streams derive from ``(seed, node_id)``
+so different nodes' kernels are independent but reproducible.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..noise import (
+    BernoulliTickNoise,
+    CompositeNoise,
+    NoiseSource,
+    NullNoise,
+    PeriodicNoise,
+    PoissonNoise,
+)
+from ..sim.rng import RandomTree, derive_seed
+from .config import DaemonSpec, KernelConfig
+
+__all__ = ["TIMER_SOURCE", "build_kernel_sources", "build_kernel_noise"]
+
+#: Canonical source name of the timer interrupt stream.
+TIMER_SOURCE = "timer-irq"
+
+
+def _daemon_source(spec: DaemonSpec, node_id: int, phase_rng, seed: int) -> NoiseSource:
+    if spec.arrival == "periodic":
+        phase = int(phase_rng.integers(0, spec.interval_ns))
+        return PeriodicNoise(spec.interval_ns, spec.duration_ns,
+                             phase=phase, name=spec.name)
+    rate_hz = 1e9 / spec.interval_ns
+    return PoissonNoise(rate_hz, spec.duration_ns, seed=seed,
+                        name=spec.name)
+
+
+def build_kernel_sources(config: KernelConfig, node_id: int, *,
+                         seed: int = 0) -> list[NoiseSource]:
+    """Per-activity noise sources for node ``node_id``'s kernel.
+
+    Activities are independently phased per node (kernels boot at
+    different instants; their ticks are not aligned across the
+    machine), which is the realistic default the noise literature
+    assumes for commodity clusters.
+    """
+    if node_id < 0:
+        raise ConfigError(f"node_id must be >= 0, got {node_id}")
+    tree = RandomTree(seed).child(f"kernel/{node_id}")
+    sources: list[NoiseSource] = []
+    if config.hz > 0:
+        phase_rng = tree.generator("tick-phase")
+        phase = int(phase_rng.integers(0, config.tick_period_ns))
+        sources.append(BernoulliTickNoise(
+            config.tick_period_ns, config.tick_cost_ns,
+            config.tick_heavy_cost_ns, config.tick_heavy_probability,
+            phase=phase, seed=derive_seed(seed, f"tick/{node_id}") & ((1 << 62) - 1),
+            name=TIMER_SOURCE))
+    for spec in config.daemons:
+        phase_rng = tree.generator(f"daemon-phase/{spec.name}")
+        dseed = derive_seed(seed, f"daemon/{node_id}/{spec.name}") & ((1 << 62) - 1)
+        sources.append(_daemon_source(spec, node_id, phase_rng, dseed))
+    return sources
+
+
+def build_kernel_noise(config: KernelConfig, node_id: int, *,
+                       seed: int = 0,
+                       injected: list[NoiseSource] | None = None) -> NoiseSource:
+    """The node's full CPU-stealing stream: kernel activities plus any
+    injected synthetic noise, merged into one source.
+
+    Returns :class:`~repro.noise.NullNoise` when there is nothing at
+    all (lightweight kernel, no injection) so callers can stay on the
+    fast path.
+    """
+    sources = build_kernel_sources(config, node_id, seed=seed)
+    for src in (injected or []):
+        if not isinstance(src, NullNoise):
+            sources.append(src)
+    if not sources:
+        return NullNoise(name=f"kernel-{config.name}")
+    if len(sources) == 1:
+        return sources[0]
+    return CompositeNoise(sources, name=f"kernel-{config.name}")

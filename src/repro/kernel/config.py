@@ -1,0 +1,238 @@
+"""Kernel configuration: which activities a node's modelled OS runs.
+
+A :class:`KernelConfig` is a declarative description of the background
+activity of one node's operating system — the "machine" whose ghost the
+observer hunts.  It is turned into concrete
+:class:`~repro.noise.NoiseSource` streams by
+:mod:`repro.kernel.activities`.
+
+Three presets bracket the design space the 2007-era noise studies
+compared:
+
+* :meth:`KernelConfig.lightweight` — a Catamount/CNK-style lightweight
+  kernel: no periodic tick, no daemons.  The near-noiseless baseline.
+* :meth:`KernelConfig.commodity_linux` — a stock HZ=1000 Linux with the
+  usual daemon population.
+* :meth:`KernelConfig.tuned_linux` — HZ=100 and a trimmed daemon set,
+  as sites tuned their compute nodes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim.timebase import MICROSECOND, MILLISECOND, SECOND
+
+__all__ = ["DaemonSpec", "NICCostModel", "KernelConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class DaemonSpec:
+    """One background kernel thread / userspace daemon.
+
+    Attributes
+    ----------
+    name:
+        Unique label (appears in observer attribution).
+    interval_ns:
+        Mean activation interval.
+    duration_ns:
+        CPU consumed per activation.
+    arrival:
+        ``"periodic"`` (strict timer-driven daemon, e.g. kswapd scan)
+        or ``"poisson"`` (asynchronous wakeups, e.g. flush threads).
+    """
+
+    name: str
+    interval_ns: int
+    duration_ns: int
+    arrival: str = "periodic"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("daemon needs a name")
+        if self.interval_ns <= 0:
+            raise ConfigError(f"daemon {self.name!r}: interval must be > 0")
+        if self.duration_ns <= 0:
+            raise ConfigError(f"daemon {self.name!r}: duration must be > 0")
+        if self.arrival == "periodic" and self.duration_ns >= self.interval_ns:
+            raise ConfigError(
+                f"daemon {self.name!r}: duration must be < interval")
+        if self.arrival not in ("periodic", "poisson"):
+            raise ConfigError(
+                f"daemon {self.name!r}: arrival must be periodic|poisson, "
+                f"got {self.arrival!r}")
+
+    @property
+    def utilization(self) -> float:
+        """Long-run CPU fraction this daemon consumes."""
+        return self.duration_ns / self.interval_ns
+
+
+@dataclass(frozen=True, slots=True)
+class NICCostModel:
+    """CPU cost of network packet processing on the host kernel.
+
+    Message receipt steals host CPU (interrupt entry + softirq/bottom
+    half protocol work); this couples communication volume to kernel
+    noise — one of the effects the paper's observer is built to expose.
+
+    Attributes
+    ----------
+    rx_irq_ns:
+        Fixed interrupt-entry/exit cost per received message.
+    rx_softirq_base_ns:
+        Fixed protocol-processing (softirq) cost per message.
+    rx_softirq_per_kb_ns:
+        Additional softirq cost per KiB of payload (copies, checksum).
+    tx_overhead_ns:
+        Host CPU cost to post a send descriptor.
+    """
+
+    rx_irq_ns: int = 2 * MICROSECOND
+    rx_softirq_base_ns: int = 3 * MICROSECOND
+    rx_softirq_per_kb_ns: int = 500
+    tx_overhead_ns: int = 1 * MICROSECOND
+
+    def __post_init__(self) -> None:
+        for fname in ("rx_irq_ns", "rx_softirq_base_ns",
+                      "rx_softirq_per_kb_ns", "tx_overhead_ns"):
+            if getattr(self, fname) < 0:
+                raise ConfigError(f"NIC cost {fname} must be >= 0")
+
+    def rx_cost(self, size_bytes: int) -> int:
+        """Total host-CPU ns to receive one message of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("message size must be >= 0")
+        return (self.rx_irq_ns + self.rx_softirq_base_ns
+                + (size_bytes * self.rx_softirq_per_kb_ns) // 1024)
+
+
+@dataclass(frozen=True, slots=True)
+class KernelConfig:
+    """Parameters of a node's modelled operating system.
+
+    Attributes
+    ----------
+    name:
+        Preset label used in reports.
+    hz:
+        Timer-interrupt frequency (0 disables the tick entirely —
+        lightweight-kernel style).
+    tick_cost_ns:
+        CPU cost of an ordinary timer tick.
+    tick_heavy_cost_ns / tick_heavy_probability:
+        Occasionally a tick does extended work (timer-wheel cascade,
+        scheduler load balancing); each tick is heavy with this
+        probability.
+    daemons:
+        Background daemon population.
+    syscall_ns:
+        Base cost of a system call (applications' explicit kernel
+        entries — accounted as *work*, not noise, but observed).
+    nic:
+        Packet-processing cost model (``None`` = zero-cost NIC,
+        i.e. fully offloaded network like a Red Storm SeaStar).
+    """
+
+    name: str = "custom"
+    hz: int = 1000
+    tick_cost_ns: int = 2 * MICROSECOND
+    tick_heavy_cost_ns: int = 50 * MICROSECOND
+    tick_heavy_probability: float = 0.01
+    daemons: tuple[DaemonSpec, ...] = ()
+    syscall_ns: int = 1 * MICROSECOND
+    nic: NICCostModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.hz < 0:
+            raise ConfigError(f"hz must be >= 0, got {self.hz}")
+        if self.hz > 0:
+            period = SECOND // self.hz
+            if self.tick_cost_ns <= 0:
+                raise ConfigError("tick_cost_ns must be > 0 when hz > 0")
+            if self.tick_heavy_cost_ns < self.tick_cost_ns:
+                raise ConfigError("tick_heavy_cost_ns must be >= tick_cost_ns")
+            if self.tick_heavy_cost_ns >= period:
+                raise ConfigError("heavy tick cost must be < tick period")
+            if not 0 <= self.tick_heavy_probability <= 1:
+                raise ConfigError("tick_heavy_probability must be in [0, 1]")
+        if self.syscall_ns < 0:
+            raise ConfigError("syscall_ns must be >= 0")
+        names = [d.name for d in self.daemons]
+        if len(names) != len(set(names)):
+            raise ConfigError("daemon names must be unique")
+        if self.background_utilization >= 0.5:
+            raise ConfigError(
+                f"kernel background utilization {self.background_utilization:.2f} "
+                "is implausibly high (>= 50%)")
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def tick_period_ns(self) -> int:
+        """Timer-tick period (0 when the tick is disabled)."""
+        return SECOND // self.hz if self.hz > 0 else 0
+
+    @property
+    def background_utilization(self) -> float:
+        """Nominal CPU fraction the kernel's own activity consumes."""
+        total = sum(d.utilization for d in self.daemons)
+        if self.hz > 0:
+            mean_tick = (self.tick_cost_ns * (1 - self.tick_heavy_probability)
+                         + self.tick_heavy_cost_ns * self.tick_heavy_probability)
+            total += mean_tick / self.tick_period_ns
+        return total
+
+    # -- presets --------------------------------------------------------------
+    @classmethod
+    def lightweight(cls) -> "KernelConfig":
+        """Catamount/CNK-style lightweight kernel: tickless, daemonless."""
+        return cls(name="lightweight", hz=0, tick_cost_ns=0,
+                   tick_heavy_cost_ns=0, tick_heavy_probability=0.0,
+                   daemons=(), syscall_ns=500, nic=None)
+
+    @classmethod
+    def commodity_linux(cls) -> "KernelConfig":
+        """Stock HZ=1000 Linux compute node with common daemons."""
+        return cls(
+            name="commodity-linux", hz=1000,
+            tick_cost_ns=2 * MICROSECOND,
+            tick_heavy_cost_ns=50 * MICROSECOND,
+            tick_heavy_probability=0.02,
+            daemons=(
+                DaemonSpec("kswapd", 1 * SECOND, 200 * MICROSECOND, "periodic"),
+                DaemonSpec("pdflush", 5 * SECOND, 2 * MILLISECOND, "poisson"),
+                DaemonSpec("cron-monitor", 10 * SECOND, 5 * MILLISECOND, "periodic"),
+                DaemonSpec("ntpd", 1 * SECOND, 50 * MICROSECOND, "poisson"),
+            ),
+            syscall_ns=1 * MICROSECOND,
+            nic=NICCostModel())
+
+    @classmethod
+    def tuned_linux(cls) -> "KernelConfig":
+        """HZ=100 Linux with the daemon population trimmed."""
+        return cls(
+            name="tuned-linux", hz=100,
+            tick_cost_ns=2 * MICROSECOND,
+            tick_heavy_cost_ns=30 * MICROSECOND,
+            tick_heavy_probability=0.01,
+            daemons=(
+                DaemonSpec("kswapd", 2 * SECOND, 150 * MICROSECOND, "periodic"),
+            ),
+            syscall_ns=1 * MICROSECOND,
+            nic=NICCostModel())
+
+    @classmethod
+    def preset(cls, name: str) -> "KernelConfig":
+        """Look a preset up by name."""
+        presets: dict[str, _t.Callable[[], KernelConfig]] = {
+            "lightweight": cls.lightweight,
+            "commodity-linux": cls.commodity_linux,
+            "tuned-linux": cls.tuned_linux,
+        }
+        if name not in presets:
+            raise ConfigError(
+                f"unknown kernel preset {name!r}; choose from {sorted(presets)}")
+        return presets[name]()

@@ -1,0 +1,133 @@
+"""A compute node: CPU + kernel configuration + observer hooks.
+
+One :class:`Node` hosts exactly one application rank (the
+space-shared, one-process-per-node model of capability machines of the
+paper's era).  The node owns its CPU with the kernel's merged noise
+stream, offers ``compute`` / ``syscall`` services to the rank, and is
+the attachment point for the ktau observer and the NIC.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from ..noise import NoiseSource
+from ..sim import Environment, Event
+from .activities import build_kernel_noise
+from .config import KernelConfig
+from .cpu import CPU
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One compute node of the simulated machine.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment shared by the whole machine.
+    node_id:
+        Dense id, ``0 .. n_nodes-1`` (also the MPI rank in COMM_WORLD).
+    config:
+        The node's kernel configuration.
+    injected:
+        Extra synthetic noise sources for this node (from an
+        :class:`~repro.noise.InjectionPlan`), merged with the kernel's
+        own activity.
+    seed:
+        Machine-level seed; per-node streams derive from it.
+    cpu_speed:
+        Relative clock rate (1.0 = nominal); below 1.0 models a
+        degraded node.
+    isolate_noise:
+        Core specialization: route the kernel's *own* background
+        activity (timer ticks, daemons) and NIC receive processing to
+        a dedicated spare core, leaving the application core clean.
+        Injected synthetic sources still strike the application core —
+        they model interference the experimenter explicitly imposes.
+        The spare-core activity remains queryable via
+        :attr:`spare_core_noise` for observer completeness.
+    """
+
+    def __init__(self, env: Environment, node_id: int, config: KernelConfig,
+                 *, injected: list[NoiseSource] | None = None, seed: int = 0,
+                 isolate_noise: bool = False, cpu_speed: float = 1.0) -> None:
+        if node_id < 0:
+            raise ConfigError(f"node_id must be >= 0, got {node_id}")
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.isolate_noise = isolate_noise
+        #: Kernel activity running on the spare core (None when the
+        #: kernel shares the application core, the default).
+        self.spare_core_noise: NoiseSource | None = None
+        if isolate_noise:
+            from ..noise import NullNoise
+            self.spare_core_noise = build_kernel_noise(config, node_id,
+                                                       seed=seed)
+            app_core_sources = [s for s in (injected or [])
+                                if not isinstance(s, NullNoise)]
+            if not app_core_sources:
+                self.noise: NoiseSource = NullNoise(
+                    name=f"isolated-{config.name}")
+            elif len(app_core_sources) == 1:
+                self.noise = app_core_sources[0]
+            else:
+                from ..noise import CompositeNoise
+                self.noise = CompositeNoise(app_core_sources,
+                                            name=f"isolated-{config.name}")
+        else:
+            self.noise = build_kernel_noise(config, node_id, seed=seed,
+                                            injected=injected)
+        self.cpu = CPU(env, self.noise, node_id, speed=cpu_speed)
+        #: Set by the observer when tracing is enabled (duck-typed to
+        #: avoid a kernel -> ktau dependency).
+        self.tracer: _t.Any | None = None
+        #: Set by the network when the machine is wired up.
+        self.nic: _t.Any | None = None
+        #: Count of application system calls (observer statistics).
+        self.syscall_count: int = 0
+
+    # -- runtime reconfiguration ------------------------------------------------
+    def add_noise_source(self, source: NoiseSource) -> None:
+        """Merge another noise source into this node's stream.
+
+        Used by the observer to charge its own per-event overhead as a
+        rate-matched background source.  Must happen before any compute
+        phase is in flight.
+        """
+        from ..noise import CompositeNoise, NullNoise
+        if self.cpu.computing:
+            raise ConfigError(
+                f"node {self.node_id}: cannot add noise mid-compute")
+        if isinstance(self.noise, NullNoise):
+            merged: NoiseSource = source
+        else:
+            merged = CompositeNoise([self.noise, source],
+                                    name=f"kernel-{self.config.name}")
+        self.noise = merged
+        self.cpu.noise = merged
+
+    # -- services offered to the rank process --------------------------------
+    def compute(self, work: int) -> _t.Generator[Event, object, None]:
+        """Run ``work`` ns of application CPU work on this node."""
+        return self.cpu.compute(work)
+
+    def syscall(self, extra_work: int = 0) -> _t.Generator[Event, object, None]:
+        """Perform one system call (kernel entry the *application* asked for).
+
+        Costs ``config.syscall_ns + extra_work`` of CPU.  Recorded by
+        the observer as syscall time — observed kernel time that is
+        *not* noise, which the attribution engine must keep separate.
+        """
+        self.syscall_count += 1
+        cost = self.config.syscall_ns + extra_work
+        start = self.env.now
+        if self.tracer is not None:
+            self.tracer.record_syscall(self.node_id, start, cost)
+        return self.cpu.compute(cost)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.node_id} kernel={self.config.name!r}>"

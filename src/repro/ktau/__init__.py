@@ -1,0 +1,57 @@
+"""The kernel observation framework (the paper's core contribution).
+
+:class:`KtauTracer` merges kernel-event and application-interval
+timelines per node, with modelled observation overhead
+(:class:`OverheadModel`).  On top of the tracer:
+
+* :mod:`repro.ktau.profile` — TAU-style kernel and app-phase profiles;
+* :mod:`repro.ktau.attribution` — per-interval noise attribution and
+  slow-interval explanation;
+* :mod:`repro.ktau.ghost` — blind spectral inference for comparison
+  against direct observation;
+* :mod:`repro.ktau.export` — dict/CSV serialization.
+"""
+
+from .attribution import (
+    AttributionSummary,
+    IntervalAttribution,
+    SlowInterval,
+    attribute_intervals,
+    explain_slow_intervals,
+    summarize_attribution,
+)
+from .diff import ProfileDiff, SourceDelta, diff_profiles
+from .ghost import GhostReport, Suspect, candidate_frequencies, hunt
+from .overhead import OverheadModel
+from .persist import (
+    load_app_intervals,
+    load_kernel_trace,
+    load_trace_noise,
+    save_app_intervals,
+    save_kernel_trace,
+)
+from .profile import (
+    AppPhaseProfile,
+    NodeKernelProfile,
+    ProfileEntry,
+    build_app_profile,
+    build_kernel_profile,
+)
+from .records import AppIntervalRecord, EventKind, KernelEventRecord, classify_source
+from .timeline import TimelineEntry, merged_timeline, timeline_text
+from .tracer import OVERHEAD_SOURCE, KtauTracer
+
+__all__ = [
+    "KtauTracer", "OverheadModel", "OVERHEAD_SOURCE",
+    "EventKind", "KernelEventRecord", "AppIntervalRecord", "classify_source",
+    "ProfileEntry", "NodeKernelProfile", "build_kernel_profile",
+    "AppPhaseProfile", "build_app_profile",
+    "IntervalAttribution", "attribute_intervals",
+    "AttributionSummary", "summarize_attribution",
+    "SlowInterval", "explain_slow_intervals",
+    "GhostReport", "Suspect", "candidate_frequencies", "hunt",
+    "ProfileDiff", "SourceDelta", "diff_profiles",
+    "TimelineEntry", "merged_timeline", "timeline_text",
+    "save_kernel_trace", "load_kernel_trace", "load_trace_noise",
+    "save_app_intervals", "load_app_intervals",
+]

@@ -1,0 +1,99 @@
+"""Profile differencing: before/after kernel-tuning comparisons.
+
+Operators tune kernels (lower HZ, fewer daemons, IRQ steering) and need
+to see what changed.  :func:`diff_profiles` compares two
+:class:`~repro.ktau.profile.NodeKernelProfile` objects — typically the
+same workload on two kernel configurations — normalizing by window
+length so runs of different durations compare fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .profile import NodeKernelProfile
+
+__all__ = ["SourceDelta", "ProfileDiff", "diff_profiles"]
+
+
+@dataclass(frozen=True, slots=True)
+class SourceDelta:
+    """Change in one kernel activity between two profiles.
+
+    Rates are per second of window (counts/s and stolen ns per second,
+    i.e. stolen ppb == utilization * 1e9).
+    """
+
+    source: str
+    kind: str
+    before_rate_hz: float
+    after_rate_hz: float
+    before_utilization: float
+    after_utilization: float
+
+    @property
+    def utilization_delta(self) -> float:
+        """Positive = the activity got *more* expensive."""
+        return self.after_utilization - self.before_utilization
+
+    @property
+    def appeared(self) -> bool:
+        return self.before_utilization == 0 and self.after_utilization > 0
+
+    @property
+    def vanished(self) -> bool:
+        return self.before_utilization > 0 and self.after_utilization == 0
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Full before/after comparison."""
+
+    node: int
+    deltas: tuple[SourceDelta, ...]
+    before_utilization: float
+    after_utilization: float
+
+    @property
+    def utilization_delta(self) -> float:
+        return self.after_utilization - self.before_utilization
+
+    def regressions(self) -> list[SourceDelta]:
+        """Activities that got more expensive, worst first."""
+        worse = [d for d in self.deltas if d.utilization_delta > 0]
+        return sorted(worse, key=lambda d: d.utilization_delta, reverse=True)
+
+    def improvements(self) -> list[SourceDelta]:
+        """Activities that got cheaper, best first."""
+        better = [d for d in self.deltas if d.utilization_delta < 0]
+        return sorted(better, key=lambda d: d.utilization_delta)
+
+
+def diff_profiles(before: NodeKernelProfile,
+                  after: NodeKernelProfile) -> ProfileDiff:
+    """Compare two kernel profiles source-by-source.
+
+    The profiles may come from different nodes/machines; ``node`` in
+    the result is taken from ``after``.
+    """
+    def rates(profile: NodeKernelProfile) -> dict[str, tuple[str, float, float]]:
+        window_s = profile.window_ns / 1e9
+        out = {}
+        for e in profile.entries:
+            out[e.source] = (e.kind, e.count / window_s if window_s else 0.0,
+                             e.total_ns / profile.window_ns
+                             if profile.window_ns else 0.0)
+        return out
+
+    b = rates(before)
+    a = rates(after)
+    deltas = []
+    for source in sorted(set(b) | set(a)):
+        kind = (a.get(source) or b[source])[0]
+        _, b_rate, b_util = b.get(source, (kind, 0.0, 0.0))
+        _, a_rate, a_util = a.get(source, (kind, 0.0, 0.0))
+        deltas.append(SourceDelta(source, kind, b_rate, a_rate,
+                                  b_util, a_util))
+    return ProfileDiff(node=after.node, deltas=tuple(deltas),
+                       before_utilization=before.utilization,
+                       after_utilization=after.utilization)

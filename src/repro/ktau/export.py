@@ -1,0 +1,66 @@
+"""Export observer data to plain dict/CSV forms.
+
+Keeps the analysis layer decoupled from observer internals and gives
+examples/benchmarks a stable serialization for offline inspection.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..analysis.tables import format_csv
+from .profile import NodeKernelProfile
+from .tracer import KtauTracer
+
+__all__ = ["profile_to_rows", "profile_to_csv", "intervals_to_rows",
+           "trace_to_rows"]
+
+
+def profile_to_rows(profile: NodeKernelProfile) -> list[dict[str, _t.Any]]:
+    """One dict per profile entry, with derived percentages."""
+    window = profile.window_ns
+    rows = []
+    for e in profile.entries:
+        rows.append({
+            "node": profile.node, "source": e.source, "kind": e.kind,
+            "count": e.count, "total_ns": e.total_ns,
+            "mean_ns": round(e.mean_ns, 1), "min_ns": e.min_ns,
+            "max_ns": e.max_ns,
+            "pct_of_window": round(100 * e.total_ns / window, 4) if window else 0.0,
+        })
+    return rows
+
+
+def profile_to_csv(profile: NodeKernelProfile) -> str:
+    """CSV rendering of :func:`profile_to_rows`."""
+    rows = profile_to_rows(profile)
+    if not rows:
+        return "node,source,kind,count,total_ns,mean_ns,min_ns,max_ns,pct_of_window\n"
+    headers = list(rows[0].keys())
+    return format_csv(headers, [[r[h] for h in headers] for r in rows])
+
+
+def intervals_to_rows(tracer: KtauTracer, node_id: int,
+                      name: str | None = None) -> list[dict[str, _t.Any]]:
+    """App intervals with their per-kind stolen breakdown."""
+    rows = []
+    for interval in tracer.app_intervals(node_id, name):
+        row: dict[str, _t.Any] = {
+            "node": node_id, "name": interval.name,
+            "start_ns": interval.start, "end_ns": interval.end,
+            "duration_ns": interval.duration,
+        }
+        for kind, ns in tracer.kind_breakdown(node_id, interval.start,
+                                              interval.end).items():
+            row[f"stolen_{kind}_ns"] = ns
+        row.update({f"meta_{k}": v for k, v in interval.meta.items()})
+        rows.append(row)
+    return rows
+
+
+def trace_to_rows(tracer: KtauTracer, node_id: int, start: int,
+                  end: int) -> list[dict[str, _t.Any]]:
+    """Raw merged kernel event list for a window."""
+    return [{"node": r.node, "source": r.source, "kind": r.kind,
+             "start_ns": r.start, "duration_ns": r.duration}
+            for r in tracer.kernel_events_between(node_id, start, end)]

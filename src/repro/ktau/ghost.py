@@ -1,0 +1,111 @@
+"""Blind ghost hunting: inferring kernel activity from app timing alone.
+
+The indirect path the pre-observation noise literature relied on: given
+only an application-level timing series (FTQ samples or per-iteration
+durations), detect periodic interference spectrally and match the
+detected frequencies against the known population of kernel activities.
+Comparing these blind inferences against the observer's direct records
+is the methodological argument of the study.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from ..analysis.spectral import SpectralPeak, find_peaks, periodogram
+from ..errors import ConfigError
+from ..kernel.config import KernelConfig
+from ..noise import NoiseSource
+
+__all__ = ["Suspect", "GhostReport", "candidate_frequencies", "hunt"]
+
+
+@dataclass(frozen=True, slots=True)
+class Suspect:
+    """One detected periodicity and its best-matching known activity."""
+
+    frequency_hz: float
+    power: float
+    matched_source: str | None
+    matched_frequency_hz: float | None
+
+    @property
+    def identified(self) -> bool:
+        return self.matched_source is not None
+
+
+@dataclass(frozen=True, slots=True)
+class GhostReport:
+    """Output of a blind hunt over one timing series."""
+
+    suspects: tuple[Suspect, ...]
+
+    @property
+    def identified_sources(self) -> list[str]:
+        """Distinct matched activity names, strongest first."""
+        seen: list[str] = []
+        for s in self.suspects:
+            if s.matched_source and s.matched_source not in seen:
+                seen.append(s.matched_source)
+        return seen
+
+    @property
+    def unexplained(self) -> list[Suspect]:
+        """Detected periodicities with no known counterpart — ghosts."""
+        return [s for s in self.suspects if not s.identified]
+
+
+def candidate_frequencies(kernel: KernelConfig | None = None,
+                          sources: _t.Sequence[NoiseSource] = ()
+                          ) -> dict[str, float]:
+    """Known activity name -> fundamental frequency (Hz).
+
+    Built from a kernel config (tick + periodic daemons) and/or
+    explicit noise sources (injected patterns).
+    """
+    out: dict[str, float] = {}
+    if kernel is not None:
+        if kernel.hz > 0:
+            out["timer-irq"] = float(kernel.hz)
+        for d in kernel.daemons:
+            out[d.name] = 1e9 / d.interval_ns
+    for src in sources:
+        rate = src.event_rate_hz
+        if rate > 0:
+            out[src.name] = rate
+    return out
+
+
+def hunt(series: _t.Sequence[float], sample_interval_ns: int,
+         candidates: dict[str, float], *, top: int = 6,
+         tolerance: float = 0.1) -> GhostReport:
+    """Blind periodicity hunt over a uniformly sampled timing series.
+
+    Each spectral peak is matched to the closest candidate whose
+    fundamental (or a harmonic of it, up to the 4th) lies within
+    ``tolerance`` (relative).  Unmatched peaks are reported as
+    unexplained ghosts.
+    """
+    if tolerance <= 0:
+        raise ConfigError("tolerance must be > 0")
+    spectrum = periodogram(series, sample_interval_ns)
+    peaks: list[SpectralPeak] = find_peaks(spectrum, top=top)
+    suspects = []
+    for peak in peaks:
+        best: tuple[str, float] | None = None
+        best_err = tolerance
+        for name, fundamental in candidates.items():
+            for harmonic in (1, 2, 3, 4):
+                f = fundamental * harmonic
+                if f <= 0:
+                    continue
+                err = abs(peak.frequency_hz - f) / f
+                if err < best_err:
+                    best_err = err
+                    best = (name, fundamental)
+        suspects.append(Suspect(
+            frequency_hz=peak.frequency_hz, power=peak.power,
+            matched_source=best[0] if best else None,
+            matched_frequency_hz=best[1] if best else None))
+    return GhostReport(tuple(suspects))

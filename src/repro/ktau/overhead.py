@@ -1,0 +1,73 @@
+"""Observer-overhead model.
+
+Measurement is not free: real kernel tracing pays per-event
+instrumentation cost and periodic buffer flushes.  The observer charges
+these costs back to the node CPUs it watches, so the framework can
+quantify its own perturbation (experiment E7) — a methodological point
+the original study had to address to claim its observations were
+faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["OverheadModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class OverheadModel:
+    """Per-event costs of the observation framework, in ns.
+
+    Attributes
+    ----------
+    per_kernel_event_ns:
+        Instrumentation cost added for every kernel event observed
+        (timestamp capture + counter update).
+    per_app_event_ns:
+        Cost of an application-side interval marker.
+    flush_every:
+        After this many recorded events the trace buffer flushes...
+    flush_cost_ns:
+        ...costing this much CPU.
+    """
+
+    per_kernel_event_ns: int = 0
+    per_app_event_ns: int = 0
+    flush_every: int = 0
+    flush_cost_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.per_kernel_event_ns, self.per_app_event_ns,
+               self.flush_every, self.flush_cost_ns) < 0:
+            raise ConfigError("overhead parameters must be >= 0")
+        if (self.flush_every == 0) != (self.flush_cost_ns == 0):
+            raise ConfigError("flush_every and flush_cost_ns go together")
+
+    # -- presets -----------------------------------------------------------
+    @classmethod
+    def free(cls) -> "OverheadModel":
+        """Idealized zero-cost observer (the simulator's god's-eye view)."""
+        return cls()
+
+    @classmethod
+    def profile_level(cls) -> "OverheadModel":
+        """Counter-only instrumentation: tens of ns per event."""
+        return cls(per_kernel_event_ns=25, per_app_event_ns=40)
+
+    @classmethod
+    def trace_level(cls) -> "OverheadModel":
+        """Full timestamped tracing with buffer flushes."""
+        return cls(per_kernel_event_ns=120, per_app_event_ns=150,
+                   flush_every=4096, flush_cost_ns=200_000)
+
+    @classmethod
+    def preset(cls, name: str) -> "OverheadModel":
+        presets = {"free": cls.free, "profile": cls.profile_level,
+                   "trace": cls.trace_level}
+        if name not in presets:
+            raise ConfigError(
+                f"unknown overhead preset {name!r}; choose from {sorted(presets)}")
+        return presets[name]()

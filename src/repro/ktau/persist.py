@@ -1,0 +1,93 @@
+"""Trace persistence: save observer data to JSONL, reload for replay.
+
+The measure → store → re-inject loop across *processes*: one run
+captures a node's kernel-event trace to a file; a later run loads it as
+a :class:`~repro.noise.TraceNoise` source, or reloads app intervals for
+offline analysis.  Format: one JSON object per line with a leading
+header line, so files stream and concatenate trivially.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TraceError
+from ..noise import TraceNoise
+from .records import AppIntervalRecord, KernelEventRecord
+from .tracer import KtauTracer
+
+__all__ = ["save_kernel_trace", "load_kernel_trace", "load_trace_noise",
+           "save_app_intervals", "load_app_intervals"]
+
+_KERNEL_KIND = "repro-kernel-trace-v1"
+_APP_KIND = "repro-app-intervals-v1"
+
+
+def save_kernel_trace(tracer: KtauTracer, node_id: int, start: int, end: int,
+                      path: str | Path) -> int:
+    """Write one node's merged kernel events for a window; returns count."""
+    events = tracer.kernel_events_between(node_id, start, end)
+    with open(path, "w") as f:
+        f.write(json.dumps({"kind": _KERNEL_KIND, "node": node_id,
+                            "window": [start, end]}) + "\n")
+        for ev in events:
+            f.write(json.dumps({"t": ev.start, "d": ev.duration,
+                                "src": ev.source, "k": ev.kind}) + "\n")
+    return len(events)
+
+
+def _read_lines(path: str | Path, expected_kind: str) -> tuple[dict, list[dict]]:
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise TraceError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("kind") != expected_kind:
+        raise TraceError(
+            f"{path}: expected {expected_kind!r}, got {header.get('kind')!r}")
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+def load_kernel_trace(path: str | Path) -> list[KernelEventRecord]:
+    """Reload a saved kernel trace as records."""
+    header, rows = _read_lines(path, _KERNEL_KIND)
+    node = header["node"]
+    return [KernelEventRecord(node, r["src"], r["k"], r["t"], r["d"])
+            for r in rows]
+
+
+def load_trace_noise(path: str | Path, *, repeat: bool = True,
+                     name: str = "trace-file") -> TraceNoise:
+    """Reload a saved kernel trace as an injectable noise source.
+
+    Event start times are rebased to the capture window's origin.  With
+    ``repeat=True`` the trace tiles time with the capture window length.
+    """
+    header, rows = _read_lines(path, _KERNEL_KIND)
+    start, end = header["window"]
+    events = [(r["t"] - start, r["d"]) for r in rows]
+    if not events:
+        raise TraceError(f"{path}: trace has no events to replay")
+    max_dur = max(d for _t0, d in events)
+    repeat_every = (end - start) + max_dur if repeat else None
+    return TraceNoise(events, repeat_every=repeat_every, name=name)
+
+
+def save_app_intervals(tracer: KtauTracer, node_id: int, path: str | Path,
+                       name: str | None = None) -> int:
+    """Write one node's app intervals (with meta); returns count."""
+    intervals = tracer.app_intervals(node_id, name)
+    with open(path, "w") as f:
+        f.write(json.dumps({"kind": _APP_KIND, "node": node_id}) + "\n")
+        for rec in intervals:
+            f.write(json.dumps({"n": rec.name, "s": rec.start, "e": rec.end,
+                                "m": rec.meta}) + "\n")
+    return len(intervals)
+
+
+def load_app_intervals(path: str | Path) -> list[AppIntervalRecord]:
+    """Reload saved app intervals."""
+    header, rows = _read_lines(path, _APP_KIND)
+    node = header["node"]
+    return [AppIntervalRecord(node, r["n"], r["s"], r["e"], dict(r["m"]))
+            for r in rows]

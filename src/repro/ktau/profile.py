@@ -1,0 +1,156 @@
+"""TAU-style profiles built from observer data.
+
+A *kernel profile* answers "where did this node's kernel time go?"
+(per-source and per-kind counts and totals over a window); an *app
+profile* answers "where did the application's wall time go?" (per
+instrumented interval name: wall time, and how much of it the kernel
+stole, by category).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from ..errors import TraceError
+from .records import EventKind, classify_source
+from .tracer import KtauTracer
+
+__all__ = ["ProfileEntry", "NodeKernelProfile", "build_kernel_profile",
+           "AppPhaseProfile", "build_app_profile"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileEntry:
+    """Aggregate for one kernel activity on one node."""
+
+    source: str
+    kind: str
+    count: int
+    total_ns: int
+    min_ns: int
+    max_ns: int
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class NodeKernelProfile:
+    """Per-activity kernel profile of one node over a window."""
+
+    node: int
+    window_start: int
+    window_end: int
+    entries: tuple[ProfileEntry, ...]
+
+    @property
+    def window_ns(self) -> int:
+        return self.window_end - self.window_start
+
+    @property
+    def total_stolen_ns(self) -> int:
+        """Sum of per-source totals (overlaps counted per source)."""
+        return sum(e.total_ns for e in self.entries)
+
+    @property
+    def utilization(self) -> float:
+        return self.total_stolen_ns / self.window_ns if self.window_ns else 0.0
+
+    def by_kind(self) -> dict[str, int]:
+        """Stolen ns per :class:`EventKind`, in reporting order."""
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.kind] = out.get(entry.kind, 0) + entry.total_ns
+        return {k: out[k] for k in EventKind.ORDER if k in out}
+
+    def entry(self, source: str) -> ProfileEntry:
+        for e in self.entries:
+            if e.source == source:
+                return e
+        raise TraceError(f"no profile entry for source {source!r}")
+
+
+def build_kernel_profile(tracer: KtauTracer, node_id: int,
+                         start: int, end: int) -> NodeKernelProfile:
+    """Profile one node's kernel activity over ``[start, end)``.
+
+    Requires a trace-level tracer (per-event detail).  Event counts
+    include events *starting* in the window; totals are the stolen time
+    clipped to the window, so ``utilization`` is exact.
+    """
+    if end <= start:
+        raise TraceError(f"empty profile window [{start}, {end})")
+    events = tracer.kernel_events_between(node_id, start, end)
+    per_source: dict[str, list[int]] = {}
+    for ev in events:
+        acc = per_source.setdefault(ev.source, [0, 0, ev.duration, ev.duration])
+        acc[0] += 1
+        acc[1] += ev.duration
+        acc[2] = min(acc[2], ev.duration)
+        acc[3] = max(acc[3], ev.duration)
+    # Clip totals to the window (head/tail truncation) via the exact
+    # per-source stolen accounting.
+    clipped = tracer.stolen_breakdown(node_id, start, end)
+    entries = []
+    for source, (count, _total, mn, mx) in sorted(per_source.items()):
+        entries.append(ProfileEntry(
+            source=source, kind=classify_source(source), count=count,
+            total_ns=clipped.get(source, 0), min_ns=mn, max_ns=mx))
+    # Sources that only contribute clipped tails (event started before
+    # the window) still deserve an entry.
+    for source, ns in sorted(clipped.items()):
+        if source not in per_source and ns > 0:
+            entries.append(ProfileEntry(source=source,
+                                        kind=classify_source(source),
+                                        count=0, total_ns=ns, min_ns=0,
+                                        max_ns=0))
+    return NodeKernelProfile(node_id, start, end, tuple(entries))
+
+
+@dataclass(slots=True)
+class AppPhaseProfile:
+    """Aggregate over all intervals sharing one name on one node."""
+
+    node: int
+    name: str
+    count: int = 0
+    total_wall_ns: int = 0
+    max_wall_ns: int = 0
+    min_wall_ns: int = 0
+    stolen_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_wall_ns(self) -> float:
+        return self.total_wall_ns / self.count if self.count else 0.0
+
+    @property
+    def total_stolen_ns(self) -> int:
+        return sum(self.stolen_by_kind.values())
+
+    @property
+    def noise_fraction(self) -> float:
+        """Share of this phase's wall time the kernel stole."""
+        return (self.total_stolen_ns / self.total_wall_ns
+                if self.total_wall_ns else 0.0)
+
+
+def build_app_profile(tracer: KtauTracer, node_id: int,
+                      name: str | None = None) -> dict[str, AppPhaseProfile]:
+    """App-phase profiles for one node (keyed by interval name)."""
+    profiles: dict[str, AppPhaseProfile] = {}
+    for interval in tracer.app_intervals(node_id, name):
+        prof = profiles.get(interval.name)
+        if prof is None:
+            prof = AppPhaseProfile(node=node_id, name=interval.name,
+                                   min_wall_ns=interval.duration)
+            profiles[interval.name] = prof
+        prof.count += 1
+        prof.total_wall_ns += interval.duration
+        prof.max_wall_ns = max(prof.max_wall_ns, interval.duration)
+        prof.min_wall_ns = min(prof.min_wall_ns, interval.duration)
+        for kind, ns in tracer.kind_breakdown(node_id, interval.start,
+                                              interval.end).items():
+            prof.stolen_by_kind[kind] = prof.stolen_by_kind.get(kind, 0) + ns
+    return profiles

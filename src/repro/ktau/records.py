@@ -1,0 +1,92 @@
+"""Event records produced by the kernel observer.
+
+Kernel activity is classified into the categories the paper's
+methodology reports: hardware interrupts, softirq/bottom-half work,
+scheduler activity, daemon/kernel-thread preemption, system calls
+(application-requested kernel time — observed but *not* noise), and
+synthetic injected noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "classify_source", "KernelEventRecord",
+           "AppIntervalRecord"]
+
+
+class EventKind:
+    """Kernel-activity categories (string constants, not an Enum, so
+    user-defined sources can extend the set without registration)."""
+
+    INTERRUPT = "interrupt"
+    SOFTIRQ = "softirq"
+    SCHEDULER = "scheduler"
+    DAEMON = "daemon"
+    SYSCALL = "syscall"
+    INJECTED = "injected"
+    OBSERVER = "observer"
+    OTHER = "other"
+
+    #: Reporting order for breakdown tables.
+    ORDER = (INTERRUPT, SOFTIRQ, SCHEDULER, DAEMON, SYSCALL, INJECTED,
+             OBSERVER, OTHER)
+
+
+#: Exact source-name to kind mappings.
+_EXACT = {
+    "timer-irq": EventKind.INTERRUPT,
+    "nic-rx": EventKind.SOFTIRQ,
+    "sched": EventKind.SCHEDULER,
+    "syscall": EventKind.SYSCALL,
+    "ktau-overhead": EventKind.OBSERVER,
+}
+
+#: Well-known daemon names from the kernel presets.
+_DAEMONS = {"kswapd", "pdflush", "cron-monitor", "ntpd"}
+
+
+def classify_source(source: str) -> str:
+    """Map a noise-source name to an :class:`EventKind` category."""
+    if source in _EXACT:
+        return _EXACT[source]
+    if source in _DAEMONS:
+        return EventKind.DAEMON
+    if "pct@" in source or source.startswith(("periodic", "poisson", "burst",
+                                              "trace", "injected")):
+        return EventKind.INJECTED
+    return EventKind.OTHER
+
+
+@dataclass(frozen=True, slots=True)
+class KernelEventRecord:
+    """One observed kernel-activity occurrence on one node."""
+
+    node: int
+    source: str
+    kind: str
+    start: int
+    duration: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass(slots=True)
+class AppIntervalRecord:
+    """One instrumented application interval (iteration, phase, MPI op).
+
+    ``meta`` carries free-form context (iteration number, message
+    sizes) the analysis side may use.
+    """
+
+    node: int
+    name: str
+    start: int
+    end: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start

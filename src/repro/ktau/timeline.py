@@ -1,0 +1,88 @@
+"""Merged user/kernel timelines — the trace-viewer view.
+
+Produces a single time-ordered sequence of entries for one node over a
+window: application intervals opening and closing, and kernel events
+with durations.  This is the data a trace visualizer (Vampir/Jumpshot
+style) would render, and the simulation analogue of the merged
+kernel+user traces the original study's toolchain produced.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from .records import AppIntervalRecord, KernelEventRecord
+from .tracer import KtauTracer
+
+__all__ = ["TimelineEntry", "merged_timeline", "timeline_text"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEntry:
+    """One row of the merged timeline.
+
+    ``kind`` is ``"app"`` (an application interval, with duration) or a
+    kernel :class:`~repro.ktau.records.EventKind` value.
+    """
+
+    time: int
+    kind: str
+    label: str
+    duration: int
+    depth: int  # nesting depth of app intervals at this instant
+
+
+def merged_timeline(tracer: KtauTracer, node_id: int, start: int,
+                    end: int) -> list[TimelineEntry]:
+    """Time-ordered app + kernel entries for ``[start, end)``.
+
+    App intervals are emitted at their start instant with their full
+    duration and a nesting depth (intervals that contain one another
+    nest, e.g. ``pop:iteration`` around ``pop:barotropic``).
+    """
+    app: list[AppIntervalRecord] = [
+        r for r in tracer.app_intervals(node_id)
+        if r.start < end and r.end > start]
+    kernel: list[KernelEventRecord] = tracer.kernel_events_between(
+        node_id, start, end)
+
+    entries: list[TimelineEntry] = []
+    # Depth computation: sort app intervals by (start, -end) so outer
+    # intervals come first; depth = number of open ancestors.
+    app.sort(key=lambda r: (r.start, -r.end))
+    open_stack: list[AppIntervalRecord] = []
+    for rec in app:
+        while open_stack and open_stack[-1].end <= rec.start:
+            open_stack.pop()
+        entries.append(TimelineEntry(rec.start, "app", rec.name,
+                                     rec.duration, len(open_stack)))
+        open_stack.append(rec)
+    for ev in kernel:
+        entries.append(TimelineEntry(ev.start, ev.kind, ev.source,
+                                     ev.duration, 0))
+    # Same-instant ordering: app intervals before kernel events, outer
+    # (lower-depth) intervals before the intervals they contain.
+    entries.sort(key=lambda e: (e.time, e.kind != "app", e.depth, e.label))
+    return entries
+
+
+def timeline_text(tracer: KtauTracer, node_id: int, start: int, end: int,
+                  *, max_rows: int | None = 60) -> str:
+    """Human-readable rendering of :func:`merged_timeline`."""
+    entries = merged_timeline(tracer, node_id, start, end)
+    total = len(entries)
+    if max_rows is not None:
+        entries = entries[:max_rows]
+    lines = [f"timeline node {node_id}  [{start} ns, {end} ns)"]
+    for e in entries:
+        indent = "  " * e.depth
+        if e.kind == "app":
+            lines.append(f"{e.time:>14} ns  {indent}[{e.label}] "
+                         f"({e.duration / 1e3:.1f} us)")
+        else:
+            lines.append(f"{e.time:>14} ns  {indent}  ~ {e.label} "
+                         f"({e.kind}, {e.duration / 1e3:.1f} us)")
+    if max_rows is not None and total > max_rows:
+        lines.append(f"... {total - max_rows} more entries")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,266 @@
+"""The kernel observer: merged user/kernel measurement for a machine.
+
+:class:`KtauTracer` plays the role of the paper's in-kernel
+instrumentation integrated with application-level measurement:
+
+* every **transient** kernel event (NIC rx processing, observer
+  flushes) is recorded live through CPU steal listeners;
+* every **background** kernel event (timer ticks, daemons, injected
+  patterns) is available on demand — the simulator's noise streams are
+  pure functions of time, so the tracer reconstructs exactly the
+  events that occurred in any window (this is the simulation analogue
+  of reading the kernel trace buffer);
+* **application intervals** (iterations, phases, MPI calls) are
+  recorded via :meth:`app_interval`, giving the merged user/kernel
+  timeline the attribution engine consumes;
+* **observation cost** is charged back to the observed CPUs per the
+  :class:`~repro.ktau.overhead.OverheadModel`: live records cost CPU
+  at record time (with buffer flushes every N events), and background
+  instrumentation is modelled as a rate-matched periodic overhead
+  source merged into each node's noise.
+
+Levels: ``"profile"`` keeps only aggregate counters per source (cheap);
+``"trace"`` also keeps every record (full timelines).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import defaultdict
+
+from ..errors import ConfigError, TraceError
+from ..kernel.node import Node
+from ..noise import PeriodicNoise
+from .overhead import OverheadModel
+from .records import AppIntervalRecord, KernelEventRecord, classify_source
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.machine import Machine
+
+__all__ = ["KtauTracer"]
+
+_LEVELS = ("profile", "trace")
+
+#: Source name under which observation cost is charged.
+OVERHEAD_SOURCE = "ktau-overhead"
+
+
+class KtauTracer:
+    """Observer for a set of nodes (usually a whole machine)."""
+
+    def __init__(self, nodes: "_t.Sequence[Node] | Machine", *,
+                 level: str = "trace",
+                 overhead: OverheadModel | str | None = None) -> None:
+        if hasattr(nodes, "nodes"):  # Machine duck-type
+            nodes = nodes.nodes  # type: ignore[union-attr]
+        self.nodes: list[Node] = list(_t.cast(_t.Sequence[Node], nodes))
+        if not self.nodes:
+            raise ConfigError("tracer needs at least one node")
+        if level not in _LEVELS:
+            raise ConfigError(f"level must be one of {_LEVELS}, got {level!r}")
+        self.level = level
+        if overhead is None:
+            overhead = OverheadModel.free()
+        elif isinstance(overhead, str):
+            overhead = OverheadModel.preset(overhead)
+        self.overhead = overhead
+        self.env = self.nodes[0].env
+
+        # Live storage -----------------------------------------------------
+        self._transient: dict[int, list[KernelEventRecord]] = defaultdict(list)
+        self._app: dict[int, list[AppIntervalRecord]] = defaultdict(list)
+        #: (node, source) -> [count, total_ns] aggregates, live events only.
+        self._agg: dict[tuple[int, str], list[int]] = defaultdict(lambda: [0, 0])
+        self._events_since_flush: dict[int, int] = defaultdict(int)
+        self._in_overhead = False
+        #: Total ns of observation cost charged per node.
+        self.overhead_charged_ns: dict[int, int] = defaultdict(int)
+
+        self._attach()
+
+    # -- wiring ------------------------------------------------------------
+    def _attach(self) -> None:
+        for node in self.nodes:
+            if node.tracer is not None:
+                raise ConfigError(f"node {node.node_id} already has a tracer")
+            node.tracer = self
+            node.cpu.add_steal_listener(self._make_listener(node))
+            self._install_background_overhead(node)
+
+    def _make_listener(self, node: Node) -> _t.Callable[[int, int, str], None]:
+        def on_steal(start: int, duration: int, source: str) -> None:
+            if self._in_overhead:
+                return  # don't observe our own bookkeeping recursively
+            self._record_kernel_event(node, start, duration, source)
+        return on_steal
+
+    def _install_background_overhead(self, node: Node) -> None:
+        """Charge per-event instrumentation for background kernel events
+        as a rate-matched periodic source (amortizing flush cost)."""
+        per_event = self.overhead.per_kernel_event_ns
+        if self.overhead.flush_every:
+            per_event += self.overhead.flush_cost_ns // self.overhead.flush_every
+        if per_event <= 0:
+            return
+        rate = node.noise.event_rate_hz
+        if rate <= 0:
+            return
+        period = round(1e9 / rate)
+        if per_event >= period:
+            raise ConfigError(
+                "observer overhead per event exceeds the kernel event "
+                f"period on node {node.node_id}; the machine would livelock")
+        node.add_noise_source(PeriodicNoise(
+            period, per_event, phase=node.node_id * 97, name=OVERHEAD_SOURCE))
+
+    # -- recording ------------------------------------------------------------
+    def _record_kernel_event(self, node: Node, start: int, duration: int,
+                             source: str) -> None:
+        agg = self._agg[(node.node_id, source)]
+        agg[0] += 1
+        agg[1] += duration
+        if self.level == "trace":
+            self._transient[node.node_id].append(KernelEventRecord(
+                node.node_id, source, classify_source(source), start, duration))
+        self._charge(node, self.overhead.per_kernel_event_ns)
+
+    def record_syscall(self, node_id: int, start: int, cost: int) -> None:
+        """Called by :meth:`repro.kernel.Node.syscall`."""
+        node = self.nodes[self._index_of(node_id)]
+        self._record_kernel_event(node, start, cost, "syscall")
+
+    def app_interval(self, node_id: int, name: str,
+                     **meta: _t.Any) -> "_AppIntervalCM":
+        """Context manager recording one application interval.
+
+        Usable around ``yield from`` bodies inside rank generators::
+
+            with tracer.app_interval(ctx.node_id, "iteration", i=i):
+                yield from ctx.compute(work)
+                yield from ctx.allreduce(size=8)
+        """
+        return _AppIntervalCM(self, self._index_of(node_id), name, meta)
+
+    def _index_of(self, node_id: int) -> int:
+        # Nodes are dense and in order for machines; fall back to scan.
+        if 0 <= node_id < len(self.nodes) and self.nodes[node_id].node_id == node_id:
+            return node_id
+        for i, node in enumerate(self.nodes):
+            if node.node_id == node_id:
+                return i
+        raise TraceError(f"node {node_id} is not observed by this tracer")
+
+    def _charge(self, node: Node, cost: int) -> None:
+        """Charge observation CPU cost, with flush batching."""
+        if cost <= 0 and not self.overhead.flush_every:
+            return
+        total = cost
+        if self.overhead.flush_every:
+            n = self._events_since_flush[node.node_id] + 1
+            if n >= self.overhead.flush_every:
+                total += self.overhead.flush_cost_ns
+                n = 0
+            self._events_since_flush[node.node_id] = n
+        if total <= 0:
+            return
+        self._in_overhead = True
+        try:
+            node.cpu.steal_transient(total, OVERHEAD_SOURCE)
+        finally:
+            self._in_overhead = False
+        self.overhead_charged_ns[node.node_id] += total
+        agg = self._agg[(node.node_id, OVERHEAD_SOURCE)]
+        agg[0] += 1
+        agg[1] += total
+
+    # -- queries ---------------------------------------------------------------
+    def app_intervals(self, node_id: int,
+                      name: str | None = None) -> list[AppIntervalRecord]:
+        """Recorded application intervals on one node (trace level only)."""
+        self._require_trace("app_intervals")
+        recs = self._app[node_id]
+        if name is None:
+            return list(recs)
+        return [r for r in recs if r.name == name]
+
+    def transient_events(self, node_id: int) -> list[KernelEventRecord]:
+        """Live-recorded kernel events on one node (trace level only)."""
+        self._require_trace("transient_events")
+        return list(self._transient[node_id])
+
+    def kernel_events_between(self, node_id: int, start: int,
+                              end: int) -> list[KernelEventRecord]:
+        """Every kernel event starting in ``[start, end)`` on one node.
+
+        Merges live transient records with the reconstructed background
+        stream, in time order.  Trace level only.
+        """
+        self._require_trace("kernel_events_between")
+        node = self.nodes[self._index_of(node_id)]
+        out = [KernelEventRecord(node_id, ev.source, classify_source(ev.source),
+                                 ev.start, ev.duration)
+               for ev in node.noise.events_in(start, end)]
+        out.extend(r for r in self._transient[node_id]
+                   if start <= r.start < end)
+        out.sort(key=lambda r: (r.start, r.source))
+        return out
+
+    def stolen_breakdown(self, node_id: int, start: int,
+                         end: int) -> dict[str, int]:
+        """CPU ns stolen per source in a window: background + transient."""
+        node = self.nodes[self._index_of(node_id)]
+        out = dict(node.cpu.stolen_breakdown(start, end))
+        for rec in self._transient.get(node_id, ()):
+            if rec.start < end and rec.end > start:
+                clipped = min(rec.end, end) - max(rec.start, start)
+                out[rec.source] = out.get(rec.source, 0) + clipped
+        return out
+
+    def kind_breakdown(self, node_id: int, start: int,
+                       end: int) -> dict[str, int]:
+        """Stolen ns per :class:`EventKind` category in a window."""
+        out: dict[str, int] = {}
+        for source, ns in self.stolen_breakdown(node_id, start, end).items():
+            kind = classify_source(source)
+            out[kind] = out.get(kind, 0) + ns
+        return out
+
+    def aggregate_counters(self, node_id: int) -> dict[str, tuple[int, int]]:
+        """Live (count, total ns) per source — available at every level."""
+        return {src: (c, t) for (nid, src), (c, t) in self._agg.items()
+                if nid == node_id}
+
+    def _require_trace(self, what: str) -> None:
+        if self.level != "trace":
+            raise TraceError(
+                f"{what} needs level='trace'; this tracer runs at "
+                f"level={self.level!r}")
+
+
+class _AppIntervalCM:
+    """Context manager created by :meth:`KtauTracer.app_interval`."""
+
+    __slots__ = ("_tracer", "_idx", "_name", "_meta", "_start")
+
+    def __init__(self, tracer: KtauTracer, idx: int, name: str,
+                 meta: dict) -> None:
+        self._tracer = tracer
+        self._idx = idx
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> "_AppIntervalCM":
+        tr = self._tracer
+        node = tr.nodes[self._idx]
+        self._start = tr.env.now
+        tr._charge(node, tr.overhead.per_app_event_ns)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tr = self._tracer
+        node = tr.nodes[self._idx]
+        tr._charge(node, tr.overhead.per_app_event_ns)
+        if exc_type is None and tr.level == "trace":
+            tr._app[node.node_id].append(AppIntervalRecord(
+                node.node_id, self._name, self._start, tr.env.now,
+                dict(self._meta)))

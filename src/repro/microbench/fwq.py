@@ -1,0 +1,106 @@
+"""FWQ — the Fixed Work Quantum noise benchmark.
+
+FWQ times how long a fixed amount of work takes, repeatedly.  Unlike
+FTQ its sampling interval breathes with the noise (a struck sample is
+longer), so it is better at capturing event *durations* and worse at
+spectral analysis — both benchmarks are provided, as in the original
+tool suites.
+
+The FWQ implementation is a true DES process driving
+:meth:`repro.kernel.CPU.compute`, so it observes everything the node
+experiences, including transient NIC steals from concurrent traffic.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.spectral import Spectrum, lomb_scargle
+from ..analysis.stats import SeriesStats, summarize_series
+from ..errors import ConfigError
+from ..kernel.node import Node
+from ..sim import MICROSECOND
+
+__all__ = ["FWQResult", "FWQBenchmark"]
+
+
+@dataclass(frozen=True)
+class FWQResult:
+    """One FWQ run on one node."""
+
+    node: int
+    work_ns: int
+    samples_ns: np.ndarray
+    #: Start instant of each sample (non-uniform: struck samples delay
+    #: their successors); empty array when unavailable.
+    start_times_ns: np.ndarray = None  # type: ignore[assignment]
+
+    @property
+    def detour_ns(self) -> np.ndarray:
+        """Per-sample overhead beyond the pure work time."""
+        return self.samples_ns - self.work_ns
+
+    @property
+    def noise_fraction(self) -> float:
+        total = int(self.samples_ns.sum())
+        return float(self.detour_ns.sum()) / total if total else 0.0
+
+    def stats(self) -> SeriesStats:
+        return summarize_series(self.samples_ns)
+
+    def struck_samples(self, threshold_ns: int = 0) -> np.ndarray:
+        """Indices of samples whose detour exceeds ``threshold_ns``."""
+        return np.nonzero(self.detour_ns > threshold_ns)[0]
+
+    def spectrum(self) -> Spectrum:
+        """Lomb–Scargle spectrum of the detour series.
+
+        FWQ's sample instants are irregular by construction, so the
+        plain periodogram is invalid; this uses the sample start times.
+        """
+        if self.start_times_ns is None or len(self.start_times_ns) == 0:
+            raise ValueError("this FWQResult has no sample start times")
+        return lomb_scargle(self.start_times_ns, self.detour_ns)
+
+
+class FWQBenchmark:
+    """Run FWQ on simulated nodes.
+
+    Parameters
+    ----------
+    work_ns:
+        Fixed work per sample (default 100 µs — long enough to catch
+        sub-quantum events, short enough for fine time resolution).
+    n_samples:
+        Number of samples.
+    """
+
+    def __init__(self, *, work_ns: int = 100 * MICROSECOND,
+                 n_samples: int = 4096) -> None:
+        if work_ns <= 0 or n_samples <= 0:
+            raise ConfigError("FWQ parameters must be > 0")
+        self.work_ns = work_ns
+        self.n_samples = n_samples
+
+    def process(self, node: Node, out: dict) -> _t.Generator:
+        """The benchmark's rank program; stores an :class:`FWQResult`."""
+        env = node.env
+        samples = np.empty(self.n_samples, dtype=np.int64)
+        starts = np.empty(self.n_samples, dtype=np.int64)
+        for i in range(self.n_samples):
+            t0 = env.now
+            starts[i] = t0
+            yield from node.compute(self.work_ns)
+            samples[i] = env.now - t0
+        out[node.node_id] = FWQResult(node.node_id, self.work_ns, samples,
+                                      starts)
+
+    def run(self, node: Node) -> FWQResult:
+        """Convenience: run the process alone on the node's environment."""
+        out: dict[int, FWQResult] = {}
+        proc = node.env.process(self.process(node, out), name="fwq")
+        node.env.run(until=proc)
+        return out[node.node_id]

@@ -1,0 +1,104 @@
+"""Ping-pong latency benchmark (netgauge-style).
+
+The canonical two-node microbenchmark: rank 0 sends, rank 1 echoes,
+repeat.  Under kernel noise the *distribution* of round-trip times is
+the signal — the median shows the fabric, the tail shows the kernel
+(one struck endpoint stretches exactly the round trips it intersects).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stats import SeriesStats, summarize_series
+from ..errors import ConfigError
+from ..mpi import RankComm
+
+__all__ = ["PingPongResult", "PingPongBenchmark"]
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """Round-trip times between one node pair."""
+
+    src: int
+    dst: int
+    message_size: int
+    rtt_ns: np.ndarray
+
+    def stats(self) -> SeriesStats:
+        return summarize_series(self.rtt_ns)
+
+    @property
+    def median_ns(self) -> float:
+        return float(np.median(self.rtt_ns))
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99 / median — the noise fingerprint (1.0 = perfectly clean)."""
+        med = self.median_ns
+        return float(np.percentile(self.rtt_ns, 99)) / med if med else 0.0
+
+    def struck_round_trips(self, threshold: float = 1.5) -> np.ndarray:
+        """Indices of RTTs above ``threshold`` x median."""
+        return np.nonzero(self.rtt_ns > threshold * self.median_ns)[0]
+
+
+class PingPongBenchmark:
+    """Repeated ping-pong between two ranks of a machine.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of timed round trips (after ``warmup`` untimed ones).
+    message_size:
+        Payload bytes each way.
+    gap_ns:
+        Idle time between round trips (samples different noise phases).
+    warmup:
+        Untimed leading round trips.
+    """
+
+    def __init__(self, *, repetitions: int = 1000, message_size: int = 8,
+                 gap_ns: int = 50_000, warmup: int = 10) -> None:
+        if repetitions <= 0 or warmup < 0:
+            raise ConfigError("repetitions must be > 0 and warmup >= 0")
+        if message_size < 0 or gap_ns < 0:
+            raise ConfigError("message_size and gap_ns must be >= 0")
+        self.repetitions = repetitions
+        self.message_size = message_size
+        self.gap_ns = gap_ns
+        self.warmup = warmup
+
+    def _pinger(self, ctx: RankComm, peer: int,
+                rtts: np.ndarray) -> _t.Generator:
+        for i in range(self.warmup + self.repetitions):
+            t0 = ctx.env.now
+            yield from ctx.send(peer, self.message_size, tag=1)
+            yield from ctx.recv(peer, tag=2)
+            if i >= self.warmup:
+                rtts[i - self.warmup] = ctx.env.now - t0
+            if self.gap_ns:
+                yield ctx.env.timeout(self.gap_ns)
+
+    def _echoer(self, ctx: RankComm, peer: int) -> _t.Generator:
+        for _ in range(self.warmup + self.repetitions):
+            yield from ctx.recv(peer, tag=1)
+            yield from ctx.send(peer, self.message_size, tag=2)
+
+    def run(self, machine, *, src: int = 0, dst: int = 1) -> PingPongResult:
+        """Run between two ranks of a :class:`repro.core.Machine`."""
+        if src == dst:
+            raise ConfigError("ping-pong needs two distinct ranks")
+        rtts = np.empty(self.repetitions, dtype=np.int64)
+        ctx_a = machine.mpi.rank_context(src)
+        ctx_b = machine.mpi.rank_context(dst)
+        p0 = machine.env.process(self._pinger(ctx_a, dst, rtts),
+                                 name="pingpong-src")
+        p1 = machine.env.process(self._echoer(ctx_b, src),
+                                 name="pingpong-dst")
+        machine.run_to_completion([p0, p1])
+        return PingPongResult(src, dst, self.message_size, rtts)

@@ -1,0 +1,28 @@
+"""MPI-like messaging layer over the simulated network.
+
+API shape follows mpi4py, adapted to simulation generators: blocking
+calls are generators driven with ``yield from``.  Collectives are real
+algorithms over point-to-point messages (binomial trees, recursive
+doubling, dissemination, rings) so noise propagates through the same
+dependency structure as on real machines.
+
+Minimal usage::
+
+    world = MPIWorld(env, network)
+    ctx = world.rank_context(rank)           # inside rank process
+    yield from ctx.send(dest=1, size=8)
+    msg = yield from ctx.recv(source=0)
+    total = yield from ctx.allreduce(size=8, payload=x)
+"""
+
+from .comm import Communicator, MPIWorld, RankComm
+from .constants import ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BASE
+from .matching import MessageRouter, PostedRecv
+from .request import Request, wait_all
+
+__all__ = [
+    "MPIWorld", "Communicator", "RankComm",
+    "Request", "wait_all",
+    "MessageRouter", "PostedRecv",
+    "ANY_SOURCE", "ANY_TAG", "COLLECTIVE_TAG_BASE",
+]

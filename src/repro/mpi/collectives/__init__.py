@@ -1,0 +1,72 @@
+"""Collective algorithm registry.
+
+Every collective is implemented as real rounds of point-to-point
+messages — never as a magic single event — so noise amplification
+emerges from the dependency structure of the algorithm, exactly as on
+the physical machine.  Multiple algorithms per operation support the
+ablation benchmarks (e.g. recursive-doubling vs ring allreduce under
+identical noise).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...errors import MPIError
+from . import allgather as _allgather
+from . import allreduce as _allreduce
+from . import alltoall as _alltoall
+from . import barrier as _barrier
+from . import bcast as _bcast
+from . import gather as _gather
+from . import reduce as _reduce
+from . import scan as _scan
+
+__all__ = ["ALGORITHMS", "run", "algorithms_for"]
+
+#: (operation, algorithm-name) -> generator function.
+ALGORITHMS: dict[tuple[str, str], _t.Callable[..., _t.Any]] = {
+    ("barrier", "dissemination"): _barrier.dissemination,
+    ("barrier", "linear"): _barrier.linear,
+    ("bcast", "binomial"): _bcast.binomial,
+    ("bcast", "linear"): _bcast.linear,
+    ("reduce", "binomial"): _reduce.binomial,
+    ("reduce", "linear"): _reduce.linear,
+    ("allreduce", "recursive-doubling"): _allreduce.recursive_doubling,
+    ("allreduce", "reduce-bcast"): _allreduce.reduce_bcast,
+    ("allreduce", "ring"): _allreduce.ring,
+    ("gather", "binomial"): _gather.gather_binomial,
+    ("gather", "linear"): _gather.gather_linear,
+    ("scatter", "binomial"): _gather.scatter_binomial,
+    ("scatter", "linear"): _gather.scatter_linear,
+    ("allgather", "ring"): _allgather.ring,
+    ("allgather", "gather-bcast"): _allgather.gather_bcast,
+    ("alltoall", "pairwise"): _alltoall.pairwise,
+    ("alltoall", "linear"): _alltoall.linear,
+    ("scan", "binomial"): _scan.scan_binomial,
+    ("exscan", "binomial"): _scan.exscan_binomial,
+    ("reduce_scatter", "pairwise"): _scan.reduce_scatter_pairwise,
+}
+
+
+def algorithms_for(op: str) -> list[str]:
+    """Registered algorithm names for one operation."""
+    names = [alg for (o, alg) in ALGORITHMS if o == op]
+    if not names:
+        raise MPIError(f"unknown collective operation {op!r}")
+    return sorted(names)
+
+
+def run(operation: str, algorithm: str, ctx, tag: int, **kwargs):
+    """Instantiate the chosen algorithm's generator for one rank.
+
+    (The positional name is ``operation``, not ``op`` — reductions pass
+    their combining function as an ``op=`` keyword.)
+    """
+    try:
+        fn = ALGORITHMS[(operation, algorithm)]
+    except KeyError:
+        raise MPIError(
+            f"no algorithm {algorithm!r} for {operation!r}; available: "
+            f"{algorithms_for(operation)}") from None
+    return fn(ctx, tag, **kwargs)

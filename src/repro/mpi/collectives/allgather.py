@@ -1,0 +1,41 @@
+"""Allgather algorithms."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...sim import Event
+from . import bcast as _bcast
+from . import gather as _gather
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["ring", "gather_bcast"]
+
+
+def ring(ctx: "RankComm", tag: int, *, size: int,
+         payload: _t.Any) -> _t.Generator[Event, object, list]:
+    """Ring allgather: P−1 steps, each forwarding the newest block."""
+    P, rank = ctx.size, ctx.rank
+    entries: dict[int, _t.Any] = {rank: payload}
+    if P == 1:
+        return [payload]
+    right = (rank + 1) % P
+    left = (rank - 1) % P
+    owner = rank
+    for _ in range(P - 1):
+        msg = yield from ctx.sendrecv(right, left, size, tag=tag,
+                                      payload=(owner, entries[owner]))
+        owner, value = msg.payload
+        entries[owner] = value
+    return [entries[r] for r in range(P)]
+
+
+def gather_bcast(ctx: "RankComm", tag: int, *, size: int,
+                 payload: _t.Any) -> _t.Generator[Event, object, list]:
+    """Binomial gather to rank 0 followed by binomial bcast of the list."""
+    gathered = yield from _gather.gather_binomial(ctx, tag, size=size,
+                                                  root=0, payload=payload)
+    return (yield from _bcast.binomial(ctx, tag + 4, size=size * ctx.size,
+                                       root=0, payload=gathered))

@@ -1,0 +1,146 @@
+"""Allreduce algorithms — the operation the paper's most noise-sensitive
+applications (frequent small global sums) live and die by.
+
+Three algorithms with different dependency structures, hence different
+noise amplification profiles:
+
+* ``recursive-doubling`` — log2(P) rounds of pairwise exchange; every
+  round is a global synchronization point for its pair graph.  The
+  latency-optimal choice for small messages (what a barotropic ocean
+  solver issues thousands of times per simulated day).
+* ``reduce-bcast`` — binomial reduce then binomial bcast: 2·log2(P)
+  depth through a single root.
+* ``ring`` — reduce-scatter + allgather over a ring: bandwidth-optimal
+  for large messages, 2(P−1) rounds of nearest-neighbour exchange.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ...sim import Event
+from . import bcast as _bcast
+from . import reduce as _reduce
+from .common import combine, floor_pow2
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["recursive_doubling", "reduce_bcast", "ring"]
+
+_Op = _t.Callable[[_t.Any, _t.Any], _t.Any]
+
+
+def recursive_doubling(ctx: "RankComm", tag: int, *, size: int,
+                       payload: _t.Any, op: _Op | None
+                       ) -> _t.Generator[Event, object, _t.Any]:
+    """MPICH-style recursive doubling with non-power-of-two fold/unfold.
+
+    Phase A folds the ``rem = P - 2^k`` extra ranks into their even
+    neighbours; phase B runs k rounds of pairwise exchange-and-combine
+    among the surviving power-of-two group; phase C unfolds results
+    back out.  Tag usage: ``tag`` for fold, ``tag+1`` for exchanges
+    (partners differ per round), ``tag+2`` for unfold.
+    """
+    P, rank = ctx.size, ctx.rank
+    if P == 1:
+        return payload
+    pof2 = floor_pow2(P)
+    rem = P - pof2
+    acc = payload
+
+    # Phase A: fold extras. Ranks < 2*rem pair up (even sends to odd).
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from ctx.send(rank + 1, size, tag=tag, payload=acc)
+            newrank = -1  # parked until phase C
+        else:
+            msg = yield from ctx.recv(rank - 1, tag=tag)
+            acc = yield from combine(ctx, op, acc, msg.payload, size)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    # Phase B: recursive doubling among the pof2 survivors.
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (partner_new * 2 + 1 if partner_new < rem
+                       else partner_new + rem)
+            msg = yield from ctx.sendrecv(partner, partner, size,
+                                          tag=tag + 1, payload=acc)
+            acc = yield from combine(ctx, op, acc, msg.payload, size)
+            mask <<= 1
+
+    # Phase C: unfold results to the parked even ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield from ctx.send(rank - 1, size, tag=tag + 2, payload=acc)
+        else:
+            msg = yield from ctx.recv(rank + 1, tag=tag + 2)
+            acc = msg.payload
+    return acc
+
+
+def reduce_bcast(ctx: "RankComm", tag: int, *, size: int, payload: _t.Any,
+                 op: _Op | None) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial reduce to rank 0, then binomial broadcast of the result."""
+    reduced = yield from _reduce.binomial(ctx, tag, size=size, root=0,
+                                          payload=payload, op=op)
+    return (yield from _bcast.binomial(ctx, tag + 4, size=size, root=0,
+                                       payload=reduced))
+
+
+def ring(ctx: "RankComm", tag: int, *, size: int, payload: _t.Any,
+         op: _Op | None) -> _t.Generator[Event, object, _t.Any]:
+    """Ring allreduce: reduce-scatter then allgather, 2(P−1) steps.
+
+    Timing models ``size/P``-byte blocks circulating the ring.  Data
+    semantics: NumPy-array payloads are genuinely chunked along axis 0
+    and reduced block-wise (exact result); other payloads are combined
+    with the scalar path of :func:`combine` as blocks pass through.
+    """
+    P, rank = ctx.size, ctx.rank
+    if P == 1:
+        return payload
+    block = max(1, size // P)
+    right = (rank + 1) % P
+    left = (rank - 1) % P
+
+    if isinstance(payload, np.ndarray):
+        # Faithful chunked algorithm: exact data and exact timing.
+        chunks: list[_t.Any] = [c.copy() for c in np.array_split(payload, P)]
+        # Reduce-scatter: after P-1 steps chunk (rank+1)%P is complete here.
+        send_idx = rank
+        for _ in range(P - 1):
+            msg = yield from ctx.sendrecv(right, left, block, tag=tag,
+                                          payload=(send_idx, chunks[send_idx]))
+            idx, data = msg.payload
+            chunks[idx] = yield from combine(ctx, op, chunks[idx], data, block)
+            send_idx = idx
+        # Allgather the completed chunks around the ring.
+        send_idx = (rank + 1) % P
+        for _ in range(P - 1):
+            msg = yield from ctx.sendrecv(right, left, block, tag=tag + 1,
+                                          payload=(send_idx, chunks[send_idx]))
+            idx, data = msg.payload
+            chunks[idx] = data
+            send_idx = idx
+        return np.concatenate(chunks)
+
+    # Scalar / timing-only mode: circulate the original contributions
+    # (each value is combined into the accumulator exactly once), then
+    # run the allgather-phase exchanges for their timing cost.
+    acc = payload
+    carry = payload
+    for _ in range(P - 1):
+        msg = yield from ctx.sendrecv(right, left, block, tag=tag,
+                                      payload=carry)
+        carry = msg.payload
+        acc = yield from combine(ctx, op, acc, carry, block)
+    for _ in range(P - 1):
+        yield from ctx.sendrecv(right, left, block, tag=tag + 1, payload=None)
+    return acc

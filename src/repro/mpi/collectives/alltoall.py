@@ -1,0 +1,79 @@
+"""All-to-all personalized exchange algorithms."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...errors import MPIError
+from ...sim import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["pairwise", "linear"]
+
+
+def _check_payloads(ctx: "RankComm",
+                    payloads: _t.Sequence[_t.Any] | None) -> _t.Sequence[_t.Any]:
+    if payloads is None:
+        return [None] * ctx.size
+    if len(payloads) != ctx.size:
+        raise MPIError(f"alltoall payloads must have {ctx.size} entries, "
+                       f"got {len(payloads)}")
+    return payloads
+
+
+def pairwise(ctx: "RankComm", tag: int, *, size: int,
+             payloads: _t.Sequence[_t.Any] | None
+             ) -> _t.Generator[Event, object, list]:
+    """Pairwise exchange: P−1 rounds.
+
+    With a power-of-two P each round is a perfect matching
+    (``partner = rank XOR round``); otherwise a shifted schedule
+    (send to ``rank+round``, receive from ``rank−round``) keeps every
+    round conflict-free.
+    """
+    P, rank = ctx.size, ctx.rank
+    payloads = _check_payloads(ctx, payloads)
+    result: list[_t.Any] = [None] * P
+    result[rank] = payloads[rank]
+    if P == 1:
+        return result
+    pow2 = (P & (P - 1)) == 0
+    for step in range(1, P):
+        if pow2:
+            dest = src = rank ^ step
+        else:
+            dest = (rank + step) % P
+            src = (rank - step) % P
+        msg = yield from ctx.sendrecv(dest, src, size, tag=tag,
+                                      payload=payloads[dest])
+        result[src] = msg.payload
+    return result
+
+
+def linear(ctx: "RankComm", tag: int, *, size: int,
+           payloads: _t.Sequence[_t.Any] | None
+           ) -> _t.Generator[Event, object, list]:
+    """Post all receives, then blast all sends, then complete.
+
+    The naive algorithm: correct, but all P−1 messages converge on
+    every node at once (incast) — kept as an ablation comparator.
+    """
+    P, rank = ctx.size, ctx.rank
+    payloads = _check_payloads(ctx, payloads)
+    result: list[_t.Any] = [None] * P
+    result[rank] = payloads[rank]
+    if P == 1:
+        return result
+    reqs = {}
+    for src in range(P):
+        if src != rank:
+            reqs[src] = ctx.irecv(src, tag=tag)
+    for dest in range(P):
+        if dest != rank:
+            yield from ctx.send(dest, size, tag=tag, payload=payloads[dest])
+    for src, req in reqs.items():
+        msg = yield from req.wait()
+        result[src] = msg.payload
+    return result

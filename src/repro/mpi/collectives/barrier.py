@@ -1,0 +1,53 @@
+"""Barrier algorithms.
+
+The barrier is the purest noise amplifier: it completes only when the
+*slowest* rank arrives, so any one node's detour delays everyone.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...sim import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["dissemination", "linear"]
+
+
+def dissemination(ctx: "RankComm", tag: int) -> _t.Generator[Event, object, None]:
+    """Dissemination barrier: ceil(log2 P) rounds of shifted exchange.
+
+    In round ``k`` every rank sends to ``(rank + 2^k) mod P`` and
+    receives from ``(rank - 2^k) mod P``; after the last round all
+    ranks have transitively heard from everyone.
+    """
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    dist = 1
+    while dist < size:
+        dest = (rank + dist) % size
+        src = (rank - dist) % size
+        yield from ctx.sendrecv(dest, src, size=0, tag=tag)
+        dist <<= 1
+
+
+def linear(ctx: "RankComm", tag: int) -> _t.Generator[Event, object, None]:
+    """Central-coordinator barrier: gather-to-0 then release.
+
+    The O(P) baseline algorithm — included as an ablation comparator
+    to show how algorithm choice changes noise sensitivity.
+    """
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    if rank == 0:
+        for _ in range(size - 1):
+            yield from ctx.recv(tag=tag)
+        for r in range(1, size):
+            yield from ctx.send(r, size=0, tag=tag + 1)
+    else:
+        yield from ctx.send(0, size=0, tag=tag)
+        yield from ctx.recv(0, tag=tag + 1)

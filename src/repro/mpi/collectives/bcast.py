@@ -1,0 +1,56 @@
+"""Broadcast algorithms."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...sim import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["binomial", "linear"]
+
+
+def binomial(ctx: "RankComm", tag: int, *, size: int, root: int,
+             payload: _t.Any) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial-tree broadcast: ceil(log2 P) depth.
+
+    Ranks are renumbered relative to ``root`` (vrank); each rank
+    receives from the parent given by clearing its lowest set bit, then
+    forwards to children at decreasing bit offsets.
+    """
+    P, rank = ctx.size, ctx.rank
+    vrank = (rank - root) % P
+    mask = 1
+    while mask < P:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % P
+            msg = yield from ctx.recv(parent, tag=tag)
+            payload = msg.payload
+            break
+        mask <<= 1
+    # `mask` is now the lowest set bit of vrank (or >= P at the root);
+    # children sit below it.
+    mask >>= 1
+    while mask >= 1:
+        if vrank + mask < P:
+            child = ((vrank + mask) + root) % P
+            yield from ctx.send(child, size, tag=tag, payload=payload)
+        mask >>= 1
+    return payload
+
+
+def linear(ctx: "RankComm", tag: int, *, size: int, root: int,
+           payload: _t.Any) -> _t.Generator[Event, object, _t.Any]:
+    """Root sends to every rank individually (O(P) at the root)."""
+    P, rank = ctx.size, ctx.rank
+    if P == 1:
+        return payload
+    if rank == root:
+        for r in range(P):
+            if r != root:
+                yield from ctx.send(r, size, tag=tag, payload=payload)
+        return payload
+    msg = yield from ctx.recv(root, tag=tag)
+    return msg.payload

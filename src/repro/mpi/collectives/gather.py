@@ -1,0 +1,120 @@
+"""Gather and scatter algorithms (binomial trees with growing blocks)."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...errors import MPIError
+from ...sim import Event
+from .common import lowest_set_bit
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["gather_binomial", "gather_linear", "scatter_binomial",
+           "scatter_linear"]
+
+
+def gather_binomial(ctx: "RankComm", tag: int, *, size: int, root: int,
+                    payload: _t.Any) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial gather: subtree contributions merge on the way up.
+
+    Message sizes grow with subtree size (``size`` bytes per
+    contributing rank), as in real tree gathers.
+    """
+    P, rank = ctx.size, ctx.rank
+    vrank = (rank - root) % P
+    entries: dict[int, _t.Any] = {rank: payload}
+    mask = 1
+    while mask < P:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % P
+            yield from ctx.send(parent, size * len(entries), tag=tag,
+                                payload=entries)
+            break
+        partner = vrank | mask
+        if partner < P:
+            msg = yield from ctx.recv((partner + root) % P, tag=tag)
+            entries.update(msg.payload)
+        mask <<= 1
+    if rank == root:
+        return [entries[r] for r in range(P)]
+    return None
+
+
+def gather_linear(ctx: "RankComm", tag: int, *, size: int, root: int,
+                  payload: _t.Any) -> _t.Generator[Event, object, _t.Any]:
+    """Everyone sends straight to the root."""
+    P, rank = ctx.size, ctx.rank
+    if P == 1:
+        return [payload]
+    if rank != root:
+        yield from ctx.send(root, size, tag=tag, payload=(rank, payload))
+        return None
+    entries = {rank: payload}
+    for _ in range(P - 1):
+        msg = yield from ctx.recv(tag=tag)
+        r, value = msg.payload
+        entries[r] = value
+    return [entries[r] for r in range(P)]
+
+
+def scatter_binomial(ctx: "RankComm", tag: int, *, size: int, root: int,
+                     payloads: _t.Sequence[_t.Any] | None
+                     ) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial scatter: the root's blocks split down the tree.
+
+    The mirror of binomial bcast, except each edge carries only the
+    receiving subtree's blocks, so message sizes shrink going down.
+    Block bookkeeping is done in vrank space.
+    """
+    P, rank = ctx.size, ctx.rank
+    if payloads is not None and rank == root and len(payloads) != P:
+        raise MPIError(f"scatter payloads must have {P} entries, "
+                       f"got {len(payloads)}")
+    vrank = (rank - root) % P
+    if vrank == 0:
+        blocks: dict[int, _t.Any] = {
+            v: (payloads[(v + root) % P] if payloads is not None else None)
+            for v in range(P)}
+        mask = 1
+        while mask < P:
+            mask <<= 1
+        mask >>= 1  # highest power of two < P (or == P when P is pow2)
+    else:
+        parent = ((vrank & ~lowest_set_bit(vrank)) + root) % P
+        msg = yield from ctx.recv(parent, tag=tag)
+        blocks = msg.payload
+        mask = lowest_set_bit(vrank) >> 1
+
+    while mask >= 1:
+        child_v = vrank + mask
+        if child_v < P:
+            child_blocks = {v: blocks[v] for v in blocks
+                            if child_v <= v < child_v + mask}
+            yield from ctx.send(((child_v + root) % P),
+                                size * len(child_blocks), tag=tag,
+                                payload=child_blocks)
+        mask >>= 1
+    return blocks[vrank]
+
+
+def scatter_linear(ctx: "RankComm", tag: int, *, size: int, root: int,
+                   payloads: _t.Sequence[_t.Any] | None
+                   ) -> _t.Generator[Event, object, _t.Any]:
+    """Root sends each rank its block directly."""
+    P, rank = ctx.size, ctx.rank
+    if payloads is not None and rank == root and len(payloads) != P:
+        raise MPIError(f"scatter payloads must have {P} entries, "
+                       f"got {len(payloads)}")
+    if P == 1:
+        return payloads[0] if payloads is not None else None
+    if rank == root:
+        for r in range(P):
+            if r != root:
+                yield from ctx.send(r, size, tag=tag,
+                                    payload=(payloads[r] if payloads is not None
+                                             else None))
+        return payloads[root] if payloads is not None else None
+    msg = yield from ctx.recv(root, tag=tag)
+    return msg.payload

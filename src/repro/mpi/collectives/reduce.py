@@ -1,0 +1,51 @@
+"""Reduce-to-root algorithms."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...sim import Event
+from .common import combine
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["binomial", "linear"]
+
+_Op = _t.Callable[[_t.Any, _t.Any], _t.Any]
+
+
+def binomial(ctx: "RankComm", tag: int, *, size: int, root: int,
+             payload: _t.Any, op: _Op | None) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial-tree reduction (the mirror image of binomial bcast)."""
+    P, rank = ctx.size, ctx.rank
+    vrank = (rank - root) % P
+    acc = payload
+    mask = 1
+    while mask < P:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % P
+            yield from ctx.send(parent, size, tag=tag, payload=acc)
+            break
+        partner = vrank | mask
+        if partner < P:
+            msg = yield from ctx.recv((partner + root) % P, tag=tag)
+            acc = yield from combine(ctx, op, acc, msg.payload, size)
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def linear(ctx: "RankComm", tag: int, *, size: int, root: int,
+           payload: _t.Any, op: _Op | None) -> _t.Generator[Event, object, _t.Any]:
+    """Every rank sends to the root, which combines serially."""
+    P, rank = ctx.size, ctx.rank
+    if P == 1:
+        return payload
+    if rank != root:
+        yield from ctx.send(root, size, tag=tag, payload=payload)
+        return None
+    acc = payload
+    for _ in range(P - 1):
+        msg = yield from ctx.recv(tag=tag)
+        acc = yield from combine(ctx, op, acc, msg.payload, size)
+    return acc

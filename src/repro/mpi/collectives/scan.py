@@ -1,0 +1,93 @@
+"""Prefix-reduction (scan) and reduce-scatter algorithms."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...errors import MPIError
+from ...sim import Event
+from .common import combine
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["scan_binomial", "exscan_binomial", "reduce_scatter_pairwise"]
+
+_Op = _t.Callable[[_t.Any, _t.Any], _t.Any]
+
+
+def scan_binomial(ctx: "RankComm", tag: int, *, size: int, payload: _t.Any,
+                  op: _Op | None) -> _t.Generator[Event, object, _t.Any]:
+    """Inclusive prefix sum in ceil(log2 P) rounds (Hillis–Steele).
+
+    After round ``k`` each rank holds the reduction of the ``2^(k+1)``
+    ranks ending at itself; rank ``r`` finishes with
+    ``payload[0] op ... op payload[r]``.
+    """
+    P, rank = ctx.size, ctx.rank
+    acc = payload
+    dist = 1
+    while dist < P:
+        send_to = rank + dist if rank + dist < P else None
+        recv_from = rank - dist if rank - dist >= 0 else None
+        if send_to is not None and recv_from is not None:
+            msg = yield from ctx.sendrecv(send_to, recv_from, size,
+                                          tag=tag, payload=acc)
+            acc = yield from combine(ctx, op, msg.payload, acc, size)
+        elif send_to is not None:
+            yield from ctx.send(send_to, size, tag=tag, payload=acc)
+        elif recv_from is not None:
+            msg = yield from ctx.recv(recv_from, tag=tag)
+            acc = yield from combine(ctx, op, msg.payload, acc, size)
+        dist <<= 1
+    return acc
+
+
+def exscan_binomial(ctx: "RankComm", tag: int, *, size: int, payload: _t.Any,
+                    op: _Op | None) -> _t.Generator[Event, object, _t.Any]:
+    """Exclusive prefix sum: rank ``r`` gets the reduction of ranks
+    ``< r`` (``None`` at rank 0, matching MPI_Exscan's undefined slot).
+
+    Implemented as inclusive scan of the *previous* rank's contribution:
+    each rank first shifts its payload right by one, then runs the
+    inclusive algorithm on the shifted values.
+    """
+    P, rank = ctx.size, ctx.rank
+    # Shift contributions one rank to the right.
+    if rank + 1 < P:
+        yield from ctx.send(rank + 1, size, tag=tag, payload=payload)
+    shifted = None
+    if rank > 0:
+        msg = yield from ctx.recv(rank - 1, tag=tag)
+        shifted = msg.payload
+    result = yield from scan_binomial(ctx, tag + 1, size=size,
+                                      payload=shifted, op=op)
+    return result if rank > 0 else None
+
+
+def reduce_scatter_pairwise(ctx: "RankComm", tag: int, *, size: int,
+                            payloads: _t.Sequence[_t.Any] | None,
+                            op: _Op | None
+                            ) -> _t.Generator[Event, object, _t.Any]:
+    """Reduce-scatter with equal blocks: rank ``i`` ends with the
+    reduction of everyone's block ``i``.
+
+    Pairwise-exchange algorithm: P−1 rounds; in round ``s`` rank ``r``
+    sends its block for ``(r+s) mod P`` and receives (and folds in) a
+    contribution to its own block.  ``size`` is the per-block byte
+    count.
+    """
+    P, rank = ctx.size, ctx.rank
+    if payloads is not None and len(payloads) != P:
+        raise MPIError(f"reduce_scatter payloads must have {P} entries, "
+                       f"got {len(payloads)}")
+    own = payloads[rank] if payloads is not None else None
+    if P == 1:
+        return own
+    for step in range(1, P):
+        dest = (rank + step) % P
+        src = (rank - step) % P
+        out = payloads[dest] if payloads is not None else None
+        msg = yield from ctx.sendrecv(dest, src, size, tag=tag, payload=out)
+        own = yield from combine(ctx, op, own, msg.payload, size)
+    return own

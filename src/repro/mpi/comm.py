@@ -1,0 +1,357 @@
+"""Communicators and the per-rank messaging API.
+
+The shape mirrors mpi4py (lower-case object-passing API), adapted to the
+simulator's generator style: every potentially blocking call is a
+generator you drive with ``yield from``::
+
+    def rank_program(ctx):                 # ctx: RankComm
+        yield from ctx.compute(work_ns=1_000_000)
+        msg = yield from ctx.sendrecv(dest=right, source=left, size=8192)
+        total = yield from ctx.allreduce(size=8)
+
+Costs charged per operation:
+
+* send: LogGP ``o`` + NIC descriptor post, as sender CPU work;
+* recv: LogGP ``o`` at completion, as receiver CPU work;
+* wire and receiver packet processing: handled by :mod:`repro.net`;
+* reductions: ``reduce_cost_per_byte`` ns of CPU per combined byte.
+
+All of that CPU work runs on the node CPU and is therefore stretched by
+kernel noise — which is how noise gets *into* the communication path.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from ..errors import MPIError
+from ..kernel.node import Node
+from ..net.message import Message
+from ..net.network import Network
+from ..sim import Environment, Event
+from .constants import ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_WINDOW
+from .matching import MessageRouter
+from .request import Request
+
+__all__ = ["Communicator", "MPIWorld", "RankComm"]
+
+#: Stable per-operation offsets inside the collective tag space.
+_COLL_OPS = ("barrier", "bcast", "reduce", "allreduce", "gather",
+             "scatter", "allgather", "alltoall", "scan", "exscan",
+             "reduce_scatter")
+#: Tag sub-slots one collective invocation may use for internal phases.
+_PHASES_PER_CALL = 8
+
+
+@dataclass(frozen=True)
+class Communicator:
+    """A process group: mapping from rank to physical node id."""
+
+    comm_id: int
+    node_of_rank: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_of_rank:
+            raise MPIError("communicator must contain at least one rank")
+        if len(set(self.node_of_rank)) != len(self.node_of_rank):
+            raise MPIError("a node may appear at most once per communicator")
+
+    @property
+    def size(self) -> int:
+        return len(self.node_of_rank)
+
+    def node(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range [0, {self.size})")
+        return self.node_of_rank[rank]
+
+
+class MPIWorld:
+    """Machine-wide MPI state: router, communicator registry, defaults."""
+
+    def __init__(self, env: Environment, network: Network, *,
+                 reduce_cost_per_byte: float = 0.25) -> None:
+        self.env = env
+        self.network = network
+        self.nodes: list[Node] = network.nodes
+        self.router = MessageRouter(env, len(self.nodes))
+        network.on_deliver(self.router.deliver)
+        if reduce_cost_per_byte < 0:
+            raise MPIError("reduce_cost_per_byte must be >= 0")
+        self.reduce_cost_per_byte = reduce_cost_per_byte
+        self._next_comm_id = 1
+        #: COMM_WORLD: rank i lives on node i.
+        self.world = Communicator(0, tuple(range(len(self.nodes))))
+
+    # -- communicator management ------------------------------------------------
+    def create_comm(self, node_ids: _t.Sequence[int]) -> Communicator:
+        """A new communicator over the given nodes (rank = list order)."""
+        for nid in node_ids:
+            if not 0 <= nid < len(self.nodes):
+                raise MPIError(f"node id {nid} out of range")
+        comm = Communicator(self._next_comm_id, tuple(node_ids))
+        self._next_comm_id += 1
+        return comm
+
+    def split(self, comm: Communicator, colors: _t.Sequence[int],
+              keys: _t.Sequence[int] | None = None) -> dict[int, Communicator]:
+        """MPI_Comm_split semantics: one new communicator per color.
+
+        ``colors[r]`` assigns rank ``r`` of ``comm`` to a group
+        (negative = rank excluded, as with ``MPI_UNDEFINED``); within a
+        group ranks order by ``(keys[r], r)``.  Returns
+        ``color -> Communicator``.
+        """
+        if len(colors) != comm.size:
+            raise MPIError(f"need one color per rank ({comm.size}), "
+                           f"got {len(colors)}")
+        if keys is not None and len(keys) != comm.size:
+            raise MPIError("keys must match communicator size")
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for rank, color in enumerate(colors):
+            if color < 0:
+                continue
+            key = keys[rank] if keys is not None else rank
+            groups.setdefault(color, []).append((key, rank))
+        out = {}
+        for color, members in groups.items():
+            members.sort()
+            out[color] = self.create_comm(
+                [comm.node(rank) for _key, rank in members])
+        return out
+
+    def dup(self, comm: Communicator) -> Communicator:
+        """A new communicator with the same group but a fresh matching
+        scope (messages never cross between the two)."""
+        return self.create_comm(list(comm.node_of_rank))
+
+    def rank_context(self, rank: int, comm: Communicator | None = None) -> "RankComm":
+        """The messaging handle rank ``rank`` of ``comm`` programs against."""
+        comm = comm or self.world
+        return RankComm(self, comm, rank)
+
+    def all_contexts(self, comm: Communicator | None = None) -> list["RankComm"]:
+        """One context per rank, in rank order."""
+        comm = comm or self.world
+        return [self.rank_context(r, comm) for r in range(comm.size)]
+
+
+class RankComm:
+    """One rank's view of a communicator (the object rank code uses)."""
+
+    def __init__(self, world: MPIWorld, comm: Communicator, rank: int) -> None:
+        if not 0 <= rank < comm.size:
+            raise MPIError(f"rank {rank} out of range [0, {comm.size})")
+        self.world = world
+        self.comm = comm
+        self.rank = rank
+        self.node_id = comm.node(rank)
+        self.node: Node = world.nodes[self.node_id]
+        self._coll_counts: dict[str, int] = {}
+        #: Per-rank op statistics (sends, recvs, collectives by name).
+        self.op_counts: dict[str, int] = {}
+
+    # -- conveniences ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def env(self) -> Environment:
+        return self.world.env
+
+    def compute(self, work_ns: int) -> _t.Generator[Event, object, None]:
+        """Application CPU work on this rank's node."""
+        return self.node.compute(work_ns)
+
+    def _count(self, op: str) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+
+    # -- point-to-point -------------------------------------------------------------
+    def send(self, dest: int, size: int, *, tag: int = 0,
+             payload: _t.Any = None) -> _t.Generator[Event, object, None]:
+        """Blocking-but-eager send: returns once the message is injected."""
+        req = yield from self.isend(dest, size, tag=tag, payload=payload)
+        yield from req.wait()
+
+    def isend(self, dest: int, size: int, *, tag: int = 0,
+              payload: _t.Any = None) -> _t.Generator[Event, object, Request]:
+        """Non-blocking send; the returned request is already complete
+        (eager protocol — the simulator models no rendezvous)."""
+        self._validate_tag(tag)
+        dst_node = self.comm.node(dest)
+        self._count("send")
+        yield from self.node.cpu.compute(
+            self.world.network.send_overhead_work(self.node_id))
+        msg = Message(src=self.node_id, dst=dst_node, tag=tag, size=size,
+                      comm_id=self.comm.comm_id, src_rank=self.rank,
+                      payload=payload)
+        self.world.network.inject(msg)
+        done = Event(self.env)
+        done.succeed(None)
+        return Request(self.env, done, kind="send")
+
+    def recv(self, source: int = ANY_SOURCE, *,
+             tag: int = ANY_TAG) -> _t.Generator[Event, object, Message]:
+        """Blocking receive; returns the matched message."""
+        req = self.irecv(source, tag=tag)
+        msg = yield from req.wait()
+        return _t.cast(Message, msg)
+
+    def irecv(self, source: int = ANY_SOURCE, *, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive (posts immediately, no CPU cost yet)."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise MPIError(f"recv source {source} out of range")
+        self._count("recv")
+        ev = self.world.router.post_recv(self.node_id, self.comm.comm_id,
+                                         source, tag)
+        return Request(self.env, ev, cpu=self.node.cpu,
+                       completion_work=self.world.network.recv_overhead_work(),
+                       kind="recv")
+
+    def sendrecv(self, dest: int, source: int, size: int, *,
+                 recv_size: int | None = None, tag: int = 0,
+                 payload: _t.Any = None) -> _t.Generator[Event, object, Message]:
+        """Simultaneous exchange: post the receive, send, then complete."""
+        del recv_size  # symmetry hint only; the sender's size governs
+        rreq = self.irecv(source, tag=tag)
+        yield from self.send(dest, size, tag=tag, payload=payload)
+        msg = yield from rreq.wait()
+        return _t.cast(Message, msg)
+
+    # -- collectives (dispatch into repro.mpi.collectives) ---------------------------
+    def barrier(self, *, algorithm: str = "dissemination"):
+        """Synchronize all ranks of the communicator."""
+        from . import collectives
+        self._count("barrier")
+        return collectives.run("barrier", algorithm, self,
+                               self._coll_tag("barrier"))
+
+    def bcast(self, size: int, *, root: int = 0, payload: _t.Any = None,
+              algorithm: str = "binomial"):
+        """Broadcast ``size`` bytes from ``root``; returns the payload."""
+        from . import collectives
+        self._count("bcast")
+        return collectives.run("bcast", algorithm, self,
+                               self._coll_tag("bcast"), size=size, root=root,
+                               payload=payload)
+
+    def reduce(self, size: int, *, root: int = 0, payload: _t.Any = None,
+               op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
+               algorithm: str = "binomial"):
+        """Reduce to ``root``; non-roots return ``None``."""
+        from . import collectives
+        self._count("reduce")
+        return collectives.run("reduce", algorithm, self,
+                               self._coll_tag("reduce"), size=size, root=root,
+                               payload=payload, op=op)
+
+    def allreduce(self, size: int, *, payload: _t.Any = None,
+                  op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
+                  algorithm: str = "recursive-doubling"):
+        """Reduce + distribute; every rank returns the combined payload."""
+        from . import collectives
+        self._count("allreduce")
+        return collectives.run("allreduce", algorithm, self,
+                               self._coll_tag("allreduce"), size=size,
+                               payload=payload, op=op)
+
+    def gather(self, size: int, *, root: int = 0, payload: _t.Any = None,
+               algorithm: str = "binomial"):
+        """Gather per-rank payloads to ``root`` (rank-ordered list)."""
+        from . import collectives
+        self._count("gather")
+        return collectives.run("gather", algorithm, self,
+                               self._coll_tag("gather"), size=size, root=root,
+                               payload=payload)
+
+    def scatter(self, size: int, *, root: int = 0,
+                payloads: _t.Sequence[_t.Any] | None = None,
+                algorithm: str = "binomial"):
+        """Scatter one ``size``-byte block from ``root`` to each rank."""
+        from . import collectives
+        self._count("scatter")
+        return collectives.run("scatter", algorithm, self,
+                               self._coll_tag("scatter"), size=size, root=root,
+                               payloads=payloads)
+
+    def allgather(self, size: int, *, payload: _t.Any = None,
+                  algorithm: str = "ring"):
+        """All ranks end with every rank's block (rank-ordered list)."""
+        from . import collectives
+        self._count("allgather")
+        return collectives.run("allgather", algorithm, self,
+                               self._coll_tag("allgather"), size=size,
+                               payload=payload)
+
+    def alltoall(self, size: int, *, payloads: _t.Sequence[_t.Any] | None = None,
+                 algorithm: str = "pairwise"):
+        """Personalized exchange: block ``i`` goes to rank ``i``."""
+        from . import collectives
+        self._count("alltoall")
+        return collectives.run("alltoall", algorithm, self,
+                               self._coll_tag("alltoall"), size=size,
+                               payloads=payloads)
+
+    def scan(self, size: int, *, payload: _t.Any = None,
+             op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
+             algorithm: str = "binomial"):
+        """Inclusive prefix reduction: rank r returns op over ranks 0..r."""
+        from . import collectives
+        self._count("scan")
+        return collectives.run("scan", algorithm, self,
+                               self._coll_tag("scan"), size=size,
+                               payload=payload, op=op)
+
+    def exscan(self, size: int, *, payload: _t.Any = None,
+               op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
+               algorithm: str = "binomial"):
+        """Exclusive prefix reduction (rank 0 returns ``None``)."""
+        from . import collectives
+        self._count("exscan")
+        return collectives.run("exscan", algorithm, self,
+                               self._coll_tag("exscan"), size=size,
+                               payload=payload, op=op)
+
+    def reduce_scatter(self, size: int, *,
+                       payloads: _t.Sequence[_t.Any] | None = None,
+                       op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
+                       algorithm: str = "pairwise"):
+        """Equal-block reduce-scatter: rank i returns the reduction of
+        everyone's block i (``size`` = bytes per block)."""
+        from . import collectives
+        self._count("reduce_scatter")
+        return collectives.run("reduce_scatter", algorithm, self,
+                               self._coll_tag("reduce_scatter"), size=size,
+                               payloads=payloads, op=op)
+
+    # -- internals -----------------------------------------------------------------------
+    def _coll_tag(self, op: str) -> int:
+        """Base tag for this invocation (each call gets a block of
+        :data:`_PHASES_PER_CALL` tags for its internal phases).
+
+        Correct because MPI requires every rank to invoke collectives
+        on a communicator in the same order, so per-rank counters agree.
+        """
+        count = self._coll_counts.get(op, 0)
+        self._coll_counts[op] = count + 1
+        slot = count % (COLLECTIVE_TAG_WINDOW // _PHASES_PER_CALL)
+        op_base = _COLL_OPS.index(op) * COLLECTIVE_TAG_WINDOW
+        return COLLECTIVE_TAG_BASE + op_base + slot * _PHASES_PER_CALL
+
+    def _validate_tag(self, tag: int) -> None:
+        # Tags at/above COLLECTIVE_TAG_BASE are reserved for collective
+        # internals (which reuse this same send path); application code
+        # must stay below it, but that is a documented convention — the
+        # only hard error is a negative tag, which would collide with
+        # the ANY_TAG wildcard.
+        if tag < 0:
+            raise MPIError(f"send tags must be >= 0, got {tag}")
+
+    def reduce_work(self, size: int) -> int:
+        """CPU ns to combine two ``size``-byte buffers."""
+        return round(self.world.reduce_cost_per_byte * size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankComm rank={self.rank}/{self.size} comm={self.comm.comm_id}>"

@@ -1,0 +1,16 @@
+"""MPI-layer constants (wildcards and reserved tag space)."""
+
+from __future__ import annotations
+
+#: Receive from any rank.
+ANY_SOURCE: int = -1
+#: Receive any tag.
+ANY_TAG: int = -1
+
+#: Application tags must stay below this; collectives use tags at and
+#: above it so internal traffic can never match a user receive.
+COLLECTIVE_TAG_BASE: int = 1 << 20
+
+#: Collective tags cycle within this window per operation type, which
+#: bounds the tag space while keeping back-to-back collectives distinct.
+COLLECTIVE_TAG_WINDOW: int = 1 << 10

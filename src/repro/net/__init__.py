@@ -1,0 +1,19 @@
+"""Interconnect substrate: LogGP costs, topologies, NICs, transport.
+
+The network charges host CPUs for messaging work (LogGP ``o`` and NIC
+packet processing), so communication itself generates kernel noise on
+commodity stacks — one of the central observations the reproduction
+targets.  Offloaded fabrics (``KernelConfig.nic is None``) keep the
+host out of the data path.
+"""
+
+from .loggp import LogGPParams
+from .message import Message
+from .network import Network
+from .nic import NIC, RX_SOURCE
+from .topology import GraphTopology, SwitchTopology, Topology, TorusTopology
+
+__all__ = [
+    "LogGPParams", "Message", "Network", "NIC", "RX_SOURCE",
+    "Topology", "SwitchTopology", "TorusTopology", "GraphTopology",
+]

@@ -1,0 +1,137 @@
+"""The machine-wide network: message transport between nodes.
+
+Message timeline (``Network.inject`` is called by the MPI layer from
+the sender's process, *after* the sender has paid its LogGP ``o`` as
+CPU work):
+
+1. **injection** — sender NIC serializes (gap ``g``) and the message
+   enters the wire;
+2. **wire** — ``L + topology extra + G*size`` ns pass;
+3. **arrival** — receiver NIC serializes, then receive processing
+   steals receiver CPU per the kernel's NIC cost model (transient
+   steal → observer record → any in-progress compute phase stretches);
+4. **handoff** — the delivery callback (the MPI matching engine) gets
+   the message.
+
+The network is connectionless and reliable, and enforces FIFO delivery
+per (src, dst) pair — a later, smaller message never overtakes an
+earlier, larger one (real fabrics order packets within a virtual
+channel, and MPI's non-overtaking guarantee depends on it).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+from ..kernel.node import Node
+from ..sim import Environment
+from ..sim.rng import derive_seed
+from .loggp import LogGPParams
+from .message import Message
+from .nic import NIC
+from .topology import SwitchTopology, Topology
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Transport fabric connecting a machine's nodes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    nodes:
+        The machine's nodes, indexed by node id.
+    params:
+        LogGP cost parameters.
+    topology:
+        Fabric shape (defaults to a single crossbar switch).
+    """
+
+    def __init__(self, env: Environment, nodes: _t.Sequence[Node],
+                 params: LogGPParams | None = None,
+                 topology: Topology | None = None,
+                 seed: int = 0) -> None:
+        self.env = env
+        self.nodes = list(nodes)
+        if not self.nodes:
+            raise ConfigError("network needs at least one node")
+        self.params = params or LogGPParams()
+        self.topology = topology or SwitchTopology(len(self.nodes))
+        if self.topology.n_nodes != len(self.nodes):
+            raise ConfigError(
+                f"topology is sized for {self.topology.n_nodes} nodes but the "
+                f"machine has {len(self.nodes)}")
+        self.seed = seed
+        self.nics = [NIC(env, node, self.params.g) for node in self.nodes]
+        for node, nic in zip(self.nodes, self.nics):
+            node.nic = nic
+        #: Delivery callback installed by the message-matching layer:
+        #: ``f(message)`` invoked at handoff time.
+        self._deliver_cb: _t.Callable[[Message], None] | None = None
+        #: Totals for reports.
+        self.messages_transferred = 0
+        self.bytes_transferred = 0
+        #: Per-network injection counter (jitter stream index; the
+        #: global Message.seq would leak state across machines built in
+        #: the same process and break run-for-run determinism).
+        self._injections = 0
+        #: FIFO channel state: (src, dst) -> earliest next arrival time.
+        self._channel_clear_at: dict[tuple[int, int], int] = {}
+
+    # -- wiring ------------------------------------------------------------
+    def on_deliver(self, callback: _t.Callable[[Message], None]) -> None:
+        """Install the handoff callback (one consumer: the MPI layer)."""
+        self._deliver_cb = callback
+
+    # -- data path -----------------------------------------------------------
+    def send_overhead_work(self, src: int) -> int:
+        """Sender-side CPU work per send: LogGP ``o`` + NIC descriptor cost."""
+        return self.params.o + self.nics[src].tx_host_cost()
+
+    def recv_overhead_work(self) -> int:
+        """Receiver-side CPU work per completed receive: LogGP ``o``."""
+        return self.params.o
+
+    def inject(self, msg: Message) -> None:
+        """Put ``msg`` on the wire now (sender ``o`` already paid)."""
+        if self._deliver_cb is None:
+            raise ConfigError("network has no delivery callback installed")
+        if not 0 <= msg.dst < len(self.nodes):
+            raise ConfigError(f"message dst {msg.dst} out of range")
+        if not 0 <= msg.src < len(self.nodes):
+            raise ConfigError(f"message src {msg.src} out of range")
+        msg.sent_at = self.env.now
+        departure = self.nics[msg.src].tx_ready_time(msg.size)
+        wire = self.params.wire_time(
+            msg.size, self.topology.extra_latency(msg.src, msg.dst))
+        self._injections += 1
+        if self.params.jitter_ns:
+            # Deterministic per-message jitter: same seed, same run.
+            wire += derive_seed(self.seed, f"jitter:{self._injections}") % (
+                self.params.jitter_ns + 1)
+        arrival = departure + wire
+        # FIFO per channel: never arrive before an earlier message on
+        # the same (src, dst) pair.
+        key = (msg.src, msg.dst)
+        arrival = max(arrival, self._channel_clear_at.get(key, 0))
+        self._channel_clear_at[key] = arrival
+        ev = self.env.timeout(arrival - self.env.now, msg)
+        ev.callbacks.append(self._on_arrival)
+
+    def _on_arrival(self, event) -> None:
+        msg: Message = event.value
+        handoff_at = self.nics[msg.dst].deliver(msg.size)
+        if handoff_at <= self.env.now:
+            self._handoff(msg)
+        else:
+            ev = self.env.timeout(handoff_at - self.env.now, msg)
+            ev.callbacks.append(lambda e: self._handoff(e.value))
+
+    def _handoff(self, msg: Message) -> None:
+        msg.delivered_at = self.env.now
+        self.messages_transferred += 1
+        self.bytes_transferred += msg.size
+        self._deliver_cb(msg)  # type: ignore[misc]

@@ -1,0 +1,86 @@
+"""Per-node network interface model.
+
+The NIC does two things:
+
+* **serializes** injections and deliveries — at most one message every
+  LogGP ``g`` ns in each direction, modelling DMA-engine occupancy;
+* **charges the host kernel** for packet processing when the node's
+  :class:`~repro.kernel.config.NICCostModel` says so: receive
+  processing becomes a transient CPU steal (interrupt + softirq) on
+  the destination node, which is precisely how communication turns
+  into kernel noise on commodity stacks.  Offloaded NICs
+  (``kernel.nic is None``) deliver for free.
+"""
+
+from __future__ import annotations
+
+from ..kernel.node import Node
+from ..sim import Environment
+
+__all__ = ["NIC"]
+
+#: Observer source names for NIC-induced kernel activity.
+RX_SOURCE = "nic-rx"
+
+
+class NIC:
+    """One node's network interface state."""
+
+    def __init__(self, env: Environment, node: Node, gap_ns: int) -> None:
+        if gap_ns < 0:
+            raise ValueError("gap_ns must be >= 0")
+        self.env = env
+        self.node = node
+        self.gap_ns = gap_ns
+        self._tx_free_at = 0
+        self._rx_free_at = 0
+        #: Traffic counters (reported by the observer).
+        self.tx_messages = 0
+        self.rx_messages = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    # -- send path ----------------------------------------------------------
+    def tx_ready_time(self, size_bytes: int) -> int:
+        """Earliest injection instant respecting the ``g`` gap; books it."""
+        now = self.env.now
+        start = max(now, self._tx_free_at)
+        self._tx_free_at = start + self.gap_ns
+        self.tx_messages += 1
+        self.tx_bytes += size_bytes
+        return start
+
+    def tx_host_cost(self) -> int:
+        """Host CPU ns to post the send descriptor (0 when offloaded)."""
+        nic_model = self.node.config.nic
+        return nic_model.tx_overhead_ns if nic_model is not None else 0
+
+    # -- receive path -----------------------------------------------------------
+    def deliver(self, size_bytes: int) -> int:
+        """Process an arriving message; returns handoff timestamp.
+
+        Applies rx-gap serialization, then charges the host kernel for
+        interrupt + softirq processing as a transient CPU steal.  The
+        returned instant is when the payload is available to the
+        message-matching layer.
+        """
+        now = self.env.now
+        start = max(now, self._rx_free_at)
+        self._rx_free_at = start + self.gap_ns
+        self.rx_messages += 1
+        self.rx_bytes += size_bytes
+        nic_model = self.node.config.nic
+        if nic_model is None:
+            return start
+        cost = nic_model.rx_cost(size_bytes)
+        if self.node.isolate_noise:
+            # Core specialization: the spare core does the protocol
+            # work concurrently — delivery still takes the processing
+            # time, but no application CPU is stolen.
+            return start + cost
+        # The steal is charged at the serialized start instant; if the
+        # queue pushed `start` past `now`, the steal still begins at the
+        # CPU's current time from its perspective (same instant in this
+        # model since deliver() is invoked at arrival).
+        done = self.node.cpu.steal_transient(cost, RX_SOURCE)
+        return max(start, done)

@@ -1,0 +1,162 @@
+"""Interconnect topologies.
+
+A topology maps a node pair to *extra* wire latency beyond the LogGP
+``L`` (which covers a single hop / the common switch).  Three concrete
+shapes:
+
+* :class:`SwitchTopology` — one big crossbar: every pair is one hop.
+* :class:`TorusTopology` — k-ary n-dimensional torus (Red Storm was a
+  3D mesh/torus); extra latency grows with Manhattan hop distance.
+* :class:`GraphTopology` — any :mod:`networkx` graph, for irregular
+  or measured fabrics; shortest-path hop counts are cached.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from abc import ABC, abstractmethod
+from functools import lru_cache
+
+import networkx as nx
+
+from ..errors import ConfigError
+
+__all__ = ["Topology", "SwitchTopology", "TorusTopology", "GraphTopology"]
+
+
+class Topology(ABC):
+    """Maps node pairs to hop counts and extra latency."""
+
+    def __init__(self, n_nodes: int, hop_latency_ns: int = 0) -> None:
+        if n_nodes <= 0:
+            raise ConfigError(f"n_nodes must be > 0, got {n_nodes}")
+        if hop_latency_ns < 0:
+            raise ConfigError("hop_latency_ns must be >= 0")
+        self.n_nodes = n_nodes
+        self.hop_latency_ns = hop_latency_ns
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ConfigError(f"node {node} out of range [0, {self.n_nodes})")
+
+    @abstractmethod
+    def hops(self, a: int, b: int) -> int:
+        """Number of network hops between nodes ``a`` and ``b``.
+
+        Zero for ``a == b``; at least 1 otherwise.
+        """
+
+    def extra_latency(self, a: int, b: int) -> int:
+        """Extra wire ns beyond LogGP ``L``: ``hop_latency * (hops-1)``."""
+        h = self.hops(a, b)
+        return self.hop_latency_ns * max(0, h - 1)
+
+    @property
+    def diameter_hops(self) -> int:
+        """Maximum hop count over all pairs (brute force by default)."""
+        return max(self.hops(0, b) for b in range(self.n_nodes))
+
+
+class SwitchTopology(Topology):
+    """Single crossbar switch: all distinct pairs are one hop apart."""
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return 0 if a == b else 1
+
+
+class TorusTopology(Topology):
+    """k-ary n-dimensional torus with dimension-ordered routing.
+
+    ``dims=(4, 4, 8)`` builds a 128-node 3D torus.  Node ids map to
+    coordinates in row-major order.
+    """
+
+    def __init__(self, dims: _t.Sequence[int], hop_latency_ns: int = 50) -> None:
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d <= 0 for d in dims):
+            raise ConfigError(f"torus dims must be positive, got {dims}")
+        n = 1
+        for d in dims:
+            n *= d
+        super().__init__(n, hop_latency_ns)
+        self.dims = dims
+
+    def coordinates(self, node: int) -> tuple[int, ...]:
+        """Row-major coordinates of ``node``."""
+        self._check(node)
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(node % d)
+            node //= d
+        return tuple(reversed(coords))
+
+    def hops(self, a: int, b: int) -> int:
+        ca, cb = self.coordinates(a), self.coordinates(b)
+        total = 0
+        for x, y, d in zip(ca, cb, self.dims):
+            delta = abs(x - y)
+            total += min(delta, d - delta)  # wraparound links
+        return total
+
+    @property
+    def diameter_hops(self) -> int:
+        return sum(d // 2 for d in self.dims)
+
+
+class GraphTopology(Topology):
+    """Arbitrary fabric described by a networkx graph.
+
+    Nodes must be labelled ``0 .. n-1``.  Hop counts are unweighted
+    shortest paths, cached per source.
+    """
+
+    def __init__(self, graph: nx.Graph, hop_latency_ns: int = 50) -> None:
+        n = graph.number_of_nodes()
+        if set(graph.nodes) != set(range(n)):
+            raise ConfigError("graph nodes must be labelled 0..n-1")
+        if n > 1 and not nx.is_connected(graph):
+            raise ConfigError("topology graph must be connected")
+        super().__init__(n, hop_latency_ns)
+        self.graph = graph
+        self._lengths_from = lru_cache(maxsize=None)(
+            lambda src: nx.single_source_shortest_path_length(self.graph, src))
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        return self._lengths_from(a)[b]
+
+    @classmethod
+    def fat_tree_like(cls, n_nodes: int, radix: int = 8,
+                      hop_latency_ns: int = 50) -> "GraphTopology":
+        """A two-level switch tree approximating a folded-Clos fabric.
+
+        Leaf switches of ``radix`` nodes each, all leaf switches joined
+        through one core: intra-leaf pairs are 2 hops, inter-leaf 4.
+        Switch vertices are modelled implicitly by a small helper graph.
+        """
+        if n_nodes <= 0 or radix <= 0:
+            raise ConfigError("n_nodes and radix must be > 0")
+        g = nx.Graph()
+        g.add_nodes_from(range(n_nodes))
+        n_leaves = (n_nodes + radix - 1) // radix
+        # Helper switch vertices live at ids >= n_nodes and are removed
+        # from hop counts implicitly by path length through them.
+        core = n_nodes + n_leaves
+        for leaf in range(n_leaves):
+            sw = n_nodes + leaf
+            g.add_edge(sw, core)
+            for port in range(radix):
+                node = leaf * radix + port
+                if node < n_nodes:
+                    g.add_edge(node, sw)
+        topo = cls.__new__(cls)
+        Topology.__init__(topo, n_nodes, hop_latency_ns)
+        topo.graph = g
+        topo._lengths_from = lru_cache(maxsize=None)(
+            lambda src: nx.single_source_shortest_path_length(g, src))
+        return topo

@@ -1,0 +1,262 @@
+"""Noise-source abstraction.
+
+A *noise source* models one stream of kernel activity that steals CPU
+from the application: timer interrupts, scheduler ticks, kernel
+daemons, softirq processing, or an injected synthetic pattern.
+
+The contract has two views of the same stream:
+
+* **event view** — :meth:`NoiseSource.events_in` enumerates individual
+  ``NoiseEvent`` occurrences.  Used by trace-fidelity simulation and by
+  the ktau observer, which records every occurrence.
+* **aggregate view** — :meth:`NoiseSource.stolen_between` gives the
+  total CPU time stolen in a window, and :meth:`NoiseSource.wall_time`
+  solves the fixed point *T = W + stolen(t, t+T)* to produce the wall
+  clock time a compute phase of ``W`` ns of work takes when started at
+  ``t``.  Used by sampled-fidelity simulation for scaling studies.
+
+Both views are **pure functions of the window** (randomized sources
+freeze their randomness per time chunk), so the two fidelity modes are
+guaranteed to agree — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigError, SimulationError
+
+__all__ = ["NoiseEvent", "NoiseSource", "NullNoise", "merge_busy_time",
+           "merged_intervals", "merge_interval_lists"]
+
+#: Safety valve for the wall-time fixed point (utilization < 1 means
+#: convergence in far fewer steps; hitting this indicates a model bug).
+_MAX_FIXED_POINT_ITERS = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseEvent:
+    """One occurrence of kernel activity.
+
+    Attributes
+    ----------
+    start:
+        Timestamp (ns) the activity begins stealing the CPU.
+    duration:
+        CPU time stolen, in ns.
+    source:
+        Name of the generating noise source (e.g. ``"timer-irq"``).
+    """
+
+    start: int
+    duration: int
+    source: str
+
+    @property
+    def end(self) -> int:
+        """First instant after the activity (``start + duration``)."""
+        return self.start + self.duration
+
+
+def merged_intervals(events: _t.Iterable[NoiseEvent],
+                     window_start: int, window_end: int) -> list[tuple[int, int]]:
+    """Merge event busy intervals, clipped to ``[window_start, window_end)``.
+
+    Overlapping events (e.g. a daemon firing during interrupt
+    processing) must not double-count stolen time: a CPU can only be
+    stolen once per instant.
+    """
+    clipped = []
+    for ev in events:
+        lo = max(ev.start, window_start)
+        hi = min(ev.end, window_end)
+        if hi > lo:
+            clipped.append((lo, hi))
+    if not clipped:
+        return []
+    clipped.sort()
+    merged = [clipped[0]]
+    for lo, hi in clipped[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def merge_busy_time(events: _t.Iterable[NoiseEvent],
+                    window_start: int, window_end: int) -> int:
+    """Total CPU ns stolen in the window by possibly-overlapping events."""
+    return sum(hi - lo for lo, hi in merged_intervals(events, window_start, window_end))
+
+
+def merge_interval_lists(lists: _t.Sequence[list[tuple[int, int]]]
+                         ) -> list[tuple[int, int]]:
+    """Merge several already-sorted ``(lo, hi)`` interval lists."""
+    flat: list[tuple[int, int]] = []
+    for lst in lists:
+        flat.extend(lst)
+    if not flat:
+        return []
+    flat.sort()
+    merged = [flat[0]]
+    for lo, hi in flat[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class NoiseSource(ABC):
+    """One stream of CPU-stealing kernel activity.
+
+    Subclasses must implement :meth:`events_in`,
+    :meth:`max_event_duration`, and :attr:`utilization`; the aggregate
+    view is derived (subclasses may override ``stolen_between`` with a
+    closed form for speed — :class:`repro.noise.PeriodicNoise` does).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigError("noise source needs a non-empty name")
+        self.name = name
+
+    # -- event view --------------------------------------------------------
+    @abstractmethod
+    def events_in(self, start: int, end: int) -> list[NoiseEvent]:
+        """All events whose *start* lies in ``[start, end)``, in time order."""
+
+    @abstractmethod
+    def max_event_duration(self) -> int:
+        """Upper bound on any single event's duration (for window widening)."""
+
+    # -- aggregate view ------------------------------------------------------
+    @property
+    @abstractmethod
+    def utilization(self) -> float:
+        """Long-run fraction of CPU stolen (must be < 1)."""
+
+    @property
+    def event_rate_hz(self) -> float:
+        """Long-run events per second (observer-overhead sizing).
+
+        Default derives from utilization and the maximum event
+        duration (a lower bound); concrete sources override with the
+        exact rate.
+        """
+        max_dur = self.max_event_duration()
+        if max_dur <= 0:
+            return 0.0
+        return self.utilization * 1e9 / max_dur
+
+    def busy_intervals(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Merged CPU-busy intervals clipped to ``[start, end)``.
+
+        Widens the event query only by *this* source's maximum event
+        duration, so composites never force short-event sources to
+        enumerate a long-event source's look-back window.
+        """
+        if end <= start:
+            return []
+        widened = start - self.max_event_duration()
+        return merged_intervals(self.events_in(widened, end), start, end)
+
+    def stolen_between(self, start: int, end: int) -> int:
+        """Total CPU ns stolen in ``[start, end)``.
+
+        Includes the tail of events that started before ``start`` but
+        are still running at ``start``.
+        """
+        return sum(hi - lo for lo, hi in self.busy_intervals(start, end))
+
+    def wall_time(self, start: int, work: int) -> int:
+        """Wall-clock ns for ``work`` ns of CPU work begun at ``start``.
+
+        Solves the smallest ``T >= work`` with
+        ``T - stolen_between(start, start + T) == work`` by monotone
+        fixed-point iteration (exact with integer time; converges
+        because utilization < 1).
+        """
+        if work < 0:
+            raise ValueError(f"work must be >= 0 ns, got {work}")
+        if work == 0:
+            # Zero work needs no CPU, so nothing can be stolen from it.
+            return 0
+        # Fast path: direct iteration converges in a couple of steps when
+        # the window contains only short events.
+        t = work
+        for _ in range(8):
+            stolen = self.stolen_between(start, start + t)
+            new_t = work + stolen
+            if new_t == t:
+                return t
+            if new_t < t:  # pragma: no cover - monotonicity guard
+                raise SimulationError(f"noise fixed point regressed: {t} -> {new_t}")
+            t = new_t
+        # Slow path: the window start sits inside (or keeps hitting) long
+        # events, so direct iteration advances by ~`work` per step.  The
+        # idle time  idle(T) = T - stolen(start, start+T)  is monotone and
+        # advances by at most 1 ns per ns, so the exact fixed point is the
+        # minimal T with idle(T) == work: find it by doubling + bisection.
+        hi = t
+        for _ in range(_MAX_FIXED_POINT_ITERS):
+            if hi - self.stolen_between(start, start + hi) >= work:
+                break
+            hi *= 2
+        else:  # pragma: no cover - would need utilization >= 1
+            raise SimulationError(
+                f"noise wall_time did not converge (source={self.name!r}, "
+                f"utilization={self.utilization:.3f})")
+        lo = work  # idle(work) <= work with equality only if already done
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if mid - self.stolen_between(start, start + mid) >= work:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # -- introspection -------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Human-readable parameter summary (used in reports)."""
+        return {"name": self.name, "type": type(self).__name__,
+                "utilization": self.utilization}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} util={self.utilization:.4%}>"
+
+
+class NullNoise(NoiseSource):
+    """A silent source: the quiet, noiseless kernel baseline."""
+
+    def __init__(self, name: str = "null") -> None:
+        super().__init__(name)
+
+    def events_in(self, start: int, end: int) -> list[NoiseEvent]:
+        return []
+
+    def max_event_duration(self) -> int:
+        return 0
+
+    @property
+    def utilization(self) -> float:
+        return 0.0
+
+    @property
+    def event_rate_hz(self) -> float:
+        return 0.0
+
+    def stolen_between(self, start: int, end: int) -> int:
+        return 0
+
+    def wall_time(self, start: int, work: int) -> int:
+        if work < 0:
+            raise ValueError(f"work must be >= 0 ns, got {work}")
+        return work

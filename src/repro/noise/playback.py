@@ -1,0 +1,116 @@
+"""Trace-playback noise.
+
+Replays a recorded noise trace — either one captured by the ktau
+observer in a previous simulated run, or an externally supplied
+``(start, duration)`` series (e.g. digitized from a real FTQ run).
+This closes the loop the original study needed: *measure* noise on one
+system, then *inject* the measured signature elsewhere.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import NoiseEvent, NoiseSource
+
+__all__ = ["TraceNoise"]
+
+
+class TraceNoise(NoiseSource):
+    """A finite recorded event list, optionally repeated cyclically.
+
+    Parameters
+    ----------
+    events:
+        Iterable of ``(start, duration)`` pairs or :class:`NoiseEvent`.
+        Starts must be non-negative; the list is sorted internally.
+    repeat_every:
+        If given, the trace tiles time with this period: an event at
+        ``t`` also occurs at ``t + k*repeat_every`` for all k >= 0.
+        Must exceed the last event's end.  If ``None`` the trace plays
+        once.
+    """
+
+    def __init__(self, events: _t.Iterable[tuple[int, int] | NoiseEvent],
+                 *, repeat_every: int | None = None, name: str = "trace") -> None:
+        super().__init__(name)
+        starts: list[int] = []
+        durations: list[int] = []
+        for item in events:
+            if isinstance(item, NoiseEvent):
+                s, d = item.start, item.duration
+            else:
+                s, d = item
+            if s < 0:
+                raise ConfigError(f"trace event start must be >= 0, got {s}")
+            if d <= 0:
+                raise ConfigError(f"trace event duration must be > 0, got {d}")
+            starts.append(int(s))
+            durations.append(int(d))
+        if not starts:
+            raise ConfigError("trace must contain at least one event "
+                              "(use NullNoise for silence)")
+        order = np.argsort(np.asarray(starts, dtype=np.int64), kind="stable")
+        self._starts = [starts[i] for i in order]
+        self._durations = [durations[i] for i in order]
+        self._max_dur = max(self._durations)
+        last_end = self._starts[-1] + self._durations[-1]
+        if repeat_every is not None:
+            if repeat_every < last_end:
+                raise ConfigError(
+                    f"repeat_every ({repeat_every}) must cover the trace "
+                    f"(last event ends at {last_end})")
+        self.repeat_every = repeat_every
+        self._span = repeat_every if repeat_every is not None else last_end
+        self._busy_total = self._one_pass_busy()
+
+    def _one_pass_busy(self) -> int:
+        """Busy ns in one pass of the trace, with overlaps merged."""
+        from .base import merge_busy_time
+        evs = [NoiseEvent(s, d, self.name)
+               for s, d in zip(self._starts, self._durations)]
+        return merge_busy_time(evs, 0, self._starts[-1] + self._max_dur + 1)
+
+    @property
+    def utilization(self) -> float:
+        return self._busy_total / self._span
+
+    @property
+    def event_rate_hz(self) -> float:
+        if self.repeat_every is None:
+            return 0.0  # a finite trace has no long-run rate
+        return len(self._starts) * 1e9 / self.repeat_every
+
+    def max_event_duration(self) -> int:
+        return self._max_dur
+
+    def events_in(self, start: int, end: int) -> list[NoiseEvent]:
+        if end <= start:
+            return []
+        out: list[NoiseEvent] = []
+        if self.repeat_every is None:
+            lo = bisect.bisect_left(self._starts, start)
+            hi = bisect.bisect_left(self._starts, end)
+            for i in range(lo, hi):
+                out.append(NoiseEvent(self._starts[i], self._durations[i], self.name))
+            return out
+        period = self.repeat_every
+        first_cycle = max(0, start // period)
+        last_cycle = (end - 1) // period
+        for cycle in range(first_cycle, last_cycle + 1):
+            base = cycle * period
+            lo = bisect.bisect_left(self._starts, start - base)
+            hi = bisect.bisect_left(self._starts, end - base)
+            for i in range(lo, hi):
+                out.append(NoiseEvent(base + self._starts[i],
+                                      self._durations[i], self.name))
+        return out
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(n_events=len(self._starts), repeat_every_ns=self.repeat_every)
+        return d

@@ -1,0 +1,240 @@
+"""Randomized noise sources with window-stable sampling.
+
+The difficulty with random noise in a dual-fidelity simulator is that
+``events_in`` must be a *pure function of the time window*: the sampled
+inflation path and the traced path must see the same events, and
+overlapping queries must agree.  We achieve this by slicing time into
+fixed **chunks**; the events inside chunk *i* are generated from an RNG
+seeded by ``(seed, source-name, i)`` and memoised.  Any query simply
+concatenates the chunks it covers.
+
+Two concrete sources:
+
+* :class:`PoissonNoise` — events arrive as a Poisson process (the
+  classic model for asynchronous kernel daemons and interrupt
+  coalescing effects), with constant or exponentially distributed
+  durations.
+* :class:`BernoulliTickNoise` — a strict tick grid (like the timer
+  interrupt) where each tick independently does extended work with
+  probability ``p`` (models occasionally-expensive ticks: run queue
+  rebalancing, RCU callbacks, timer wheel cascades).
+"""
+
+from __future__ import annotations
+
+import bisect
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim.rng import derive_seed
+from ..sim.timebase import MILLISECOND
+from .base import NoiseEvent, NoiseSource
+
+__all__ = ["ChunkedRandomNoise", "PoissonNoise", "BernoulliTickNoise"]
+
+#: Default chunk width.  Large enough to amortize RNG setup, small
+#: enough that typical queries touch few chunks.
+DEFAULT_CHUNK_NS = 10 * MILLISECOND
+
+
+class ChunkedRandomNoise(NoiseSource):
+    """Base class implementing the chunk-frozen sampling scheme.
+
+    Subclasses implement :meth:`_generate_chunk`, returning the events
+    of one chunk given that chunk's private RNG.  Events must start
+    inside the chunk; they may *end* beyond it.
+    """
+
+    def __init__(self, name: str, seed: int, *, chunk_ns: int = DEFAULT_CHUNK_NS,
+                 cache_chunks: int = 256) -> None:
+        super().__init__(name)
+        if chunk_ns <= 0:
+            raise ConfigError(f"chunk_ns must be > 0, got {chunk_ns}")
+        self.seed = int(seed)
+        self.chunk_ns = int(chunk_ns)
+        # Per-instance memoised chunk generator (an instance-level
+        # lru_cache would keep `self` alive; binding it here is fine
+        # because the cache dies with the instance).
+        self._chunk_events = lru_cache(maxsize=cache_chunks)(self._build_chunk)
+
+    # -- subclass hook -------------------------------------------------------
+    def _generate_chunk(self, chunk_start: int, chunk_end: int,
+                        rng: np.random.Generator) -> list[NoiseEvent]:
+        raise NotImplementedError
+
+    # -- plumbing --------------------------------------------------------------
+    def _build_chunk(self, index: int) -> tuple[list[int], tuple[NoiseEvent, ...]]:
+        chunk_start = index * self.chunk_ns
+        chunk_end = chunk_start + self.chunk_ns
+        rng = np.random.Generator(np.random.PCG64(
+            derive_seed(self.seed, f"{self.name}:chunk:{index}")))
+        events = self._generate_chunk(chunk_start, chunk_end, rng)
+        for ev in events:
+            if not (chunk_start <= ev.start < chunk_end):
+                raise ConfigError(
+                    f"{type(self).__name__} produced an event outside its chunk")
+        ordered = tuple(sorted(events, key=lambda e: e.start))
+        # Parallel starts list for O(log n) window queries via bisect.
+        return [ev.start for ev in ordered], ordered
+
+    def events_in(self, start: int, end: int) -> list[NoiseEvent]:
+        if end <= start:
+            return []
+        lo = start // self.chunk_ns
+        hi = (end - 1) // self.chunk_ns
+        out: list[NoiseEvent] = []
+        for index in range(lo, hi + 1):
+            starts, events = self._chunk_events(index)
+            i = bisect.bisect_left(starts, start)
+            j = bisect.bisect_left(starts, end)
+            out.extend(events[i:j])
+        return out
+
+
+class PoissonNoise(ChunkedRandomNoise):
+    """Poisson-arrival noise with constant or exponential durations.
+
+    Parameters
+    ----------
+    rate_hz:
+        Mean arrival rate in events per second.
+    mean_duration:
+        Mean CPU stolen per event, ns.
+    duration_dist:
+        ``"constant"`` (every event steals exactly ``mean_duration``)
+        or ``"exponential"`` (durations drawn i.i.d. exponential with
+        that mean, capped at ``max_duration``).
+    max_duration:
+        Hard cap on any one event, ns (default ``10 * mean_duration``).
+        Needed so window-widening in ``stolen_between`` stays bounded.
+    seed:
+        Stream seed; two sources with different seeds are independent.
+    """
+
+    def __init__(self, rate_hz: float, mean_duration: int, *, seed: int = 0,
+                 duration_dist: str = "constant", max_duration: int | None = None,
+                 name: str = "poisson", chunk_ns: int = DEFAULT_CHUNK_NS) -> None:
+        if rate_hz <= 0:
+            raise ConfigError(f"rate_hz must be > 0, got {rate_hz}")
+        if mean_duration <= 0:
+            raise ConfigError(f"mean_duration must be > 0 ns, got {mean_duration}")
+        if duration_dist not in ("constant", "exponential"):
+            raise ConfigError(f"unknown duration_dist {duration_dist!r}")
+        self.rate_hz = float(rate_hz)
+        self.mean_duration = int(mean_duration)
+        self.duration_dist = duration_dist
+        self._max_duration = int(max_duration if max_duration is not None
+                                 else 10 * mean_duration)
+        if self._max_duration < mean_duration:
+            raise ConfigError("max_duration must be >= mean_duration")
+        util = rate_hz * mean_duration / 1e9
+        if util >= 1.0:
+            raise ConfigError(f"Poisson noise utilization {util:.2f} >= 1")
+        super().__init__(name, seed, chunk_ns=chunk_ns)
+
+    @property
+    def utilization(self) -> float:
+        return self.rate_hz * self.mean_duration / 1e9
+
+    @property
+    def event_rate_hz(self) -> float:
+        return self.rate_hz
+
+    def max_event_duration(self) -> int:
+        return self._max_duration
+
+    def _generate_chunk(self, chunk_start: int, chunk_end: int,
+                        rng: np.random.Generator) -> list[NoiseEvent]:
+        span = chunk_end - chunk_start
+        n = rng.poisson(self.rate_hz * span / 1e9)
+        if n == 0:
+            return []
+        starts = chunk_start + np.sort(rng.integers(0, span, size=n))
+        if self.duration_dist == "constant":
+            durations = np.full(n, self.mean_duration, dtype=np.int64)
+        else:
+            draws = rng.exponential(self.mean_duration, size=n)
+            durations = np.clip(np.rint(draws), 1, self._max_duration).astype(np.int64)
+        return [NoiseEvent(int(s), int(d), self.name)
+                for s, d in zip(starts, durations)]
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(rate_hz=self.rate_hz, mean_duration_ns=self.mean_duration,
+                 duration_dist=self.duration_dist, seed=self.seed)
+        return d
+
+
+class BernoulliTickNoise(ChunkedRandomNoise):
+    """Tick-grid noise: each tick fires a long event with probability p.
+
+    Models the Linux timer interrupt whose cost is usually tiny but
+    occasionally large (timer-wheel cascade, scheduler rebalance).
+    Every tick steals ``base_duration``; with probability
+    ``heavy_probability`` it steals ``heavy_duration`` instead.
+
+    Ticks are aligned to multiples of ``period`` plus ``phase``.
+    """
+
+    def __init__(self, period: int, base_duration: int, heavy_duration: int,
+                 heavy_probability: float, *, phase: int = 0, seed: int = 0,
+                 name: str = "tick", chunk_ns: int | None = None) -> None:
+        if period <= 0:
+            raise ConfigError(f"period must be > 0 ns, got {period}")
+        if not 0 <= heavy_probability <= 1:
+            raise ConfigError(f"heavy_probability must be in [0,1], got {heavy_probability}")
+        if base_duration < 0 or heavy_duration <= 0:
+            raise ConfigError("durations must be positive")
+        if heavy_duration >= period or base_duration >= period:
+            raise ConfigError("tick durations must be < period")
+        if heavy_duration < base_duration:
+            raise ConfigError("heavy_duration must be >= base_duration")
+        self.period = int(period)
+        self.base_duration = int(base_duration)
+        self.heavy_duration = int(heavy_duration)
+        self.heavy_probability = float(heavy_probability)
+        self.phase = int(phase) % int(period)
+        if chunk_ns is None:
+            # At least 64 ticks per chunk keeps chunk counts low.
+            chunk_ns = max(DEFAULT_CHUNK_NS, 64 * period)
+        super().__init__(name, seed, chunk_ns=chunk_ns)
+
+    @property
+    def utilization(self) -> float:
+        mean = (self.base_duration * (1 - self.heavy_probability)
+                + self.heavy_duration * self.heavy_probability)
+        return mean / self.period
+
+    @property
+    def event_rate_hz(self) -> float:
+        return 1e9 / self.period
+
+    def max_event_duration(self) -> int:
+        return self.heavy_duration
+
+    def _generate_chunk(self, chunk_start: int, chunk_end: int,
+                        rng: np.random.Generator) -> list[NoiseEvent]:
+        first_k = -((self.phase - chunk_start) // self.period)
+        starts = []
+        t = self.phase + first_k * self.period
+        while t < chunk_end:
+            starts.append(t)
+            t += self.period
+        if not starts:
+            return []
+        heavy = rng.random(len(starts)) < self.heavy_probability
+        events = []
+        for s, h in zip(starts, heavy):
+            dur = self.heavy_duration if h else self.base_duration
+            if dur > 0:
+                events.append(NoiseEvent(int(s), int(dur), self.name))
+        return events
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(period_ns=self.period, base_duration_ns=self.base_duration,
+                 heavy_duration_ns=self.heavy_duration,
+                 heavy_probability=self.heavy_probability, seed=self.seed)
+        return d

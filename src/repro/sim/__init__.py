@@ -1,0 +1,65 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the substrate under the whole reproduction: simulated
+time is integer nanoseconds, processes are Python generators yielding
+:class:`Event` objects, and same-instant events process in a
+deterministic (priority, FIFO) order so every run with the same seed is
+bit-identical.
+
+Quick taste::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5_000)
+        return env.now
+
+    p = env.process(worker(env))
+    assert env.run(until=p) == 5_000
+"""
+
+from .core import Environment
+from .events import (
+    PRIORITY_LAZY,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from .process import Process
+from .resources import Resource, Store
+from .rng import RandomTree, derive_seed
+from .timebase import (
+    MICROSECOND,
+    MILLISECOND,
+    MS,
+    NANOSECOND,
+    NS,
+    SEC,
+    SECOND,
+    US,
+    hz_to_period_ns,
+    ms_from_ns,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+    period_ns_to_hz,
+    s_from_ns,
+    us_from_ns,
+)
+
+__all__ = [
+    "Environment", "Event", "Timeout", "Process", "Interrupt",
+    "AllOf", "AnyOf", "Store", "Resource", "RandomTree", "derive_seed",
+    "PRIORITY_URGENT", "PRIORITY_NORMAL", "PRIORITY_LAZY",
+    "NANOSECOND", "MICROSECOND", "MILLISECOND", "SECOND",
+    "NS", "US", "MS", "SEC",
+    "ns_from_s", "ns_from_ms", "ns_from_us",
+    "s_from_ns", "ms_from_ns", "us_from_ns",
+    "hz_to_period_ns", "period_ns_to_hz",
+]

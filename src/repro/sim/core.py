@@ -1,0 +1,160 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the event queue and the clock.  Time is an
+integer nanosecond counter (:mod:`repro.sim.timebase`); the queue is a
+binary heap keyed by ``(time, priority, sequence)`` so simultaneous
+events process in a deterministic order: priority first, then FIFO by
+scheduling order.
+
+The environment is single-threaded and purpose-built: one simulation
+run is one ``Environment``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from ..errors import DeadlockError, SimulationError
+from .events import PRIORITY_NORMAL, AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Owns simulated time and the pending-event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting clock value in nanoseconds (default 0).
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        if initial_time < 0:
+            raise ValueError("initial_time must be >= 0")
+        self._now: int = int(initial_time)
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = count()
+        #: Number of events processed so far (profiling/diagnostics).
+        self.events_processed: int = 0
+        #: Count of live (spawned, not yet terminated) processes.
+        self._live_processes: int = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in integer nanoseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, *, delay: int = 0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Insert ``event`` into the queue ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: object = None) -> Timeout:
+        """An event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator[Event, object, object],
+                *, name: str | None = None) -> Process:
+        """Spawn ``generator`` as a simulation process.
+
+        The generator yields :class:`Event` objects to wait on them and
+        may ``return`` a value, which becomes the process event's value.
+        """
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Sequence[Event]) -> AllOf:
+        """Event firing once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- main loop ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise SimulationError("event queue time went backwards")
+        self._now = when
+        self.events_processed += 1
+        event._run_callbacks()
+
+    def peek(self) -> int | None:
+        """Timestamp of the next queued event, or ``None`` if drained."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: int | Event | None = None) -> object:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the queue drains.  If live processes
+              remain blocked at that point, raise :class:`DeadlockError`.
+            * ``int`` — run until the clock reaches that absolute time
+              (events at exactly ``until`` are *not* processed).
+            * :class:`Event` — run until that event is processed and
+              return its value (re-raising its exception if it failed).
+        """
+        stop_event: Event | None = None
+        stop_time: int | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = int(until)
+            if stop_time < self._now:
+                raise SimulationError(f"run(until={stop_time}) is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self._queue[0][0] >= stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise DeadlockError(
+                    "event queue drained before the awaited event fired "
+                    f"({self._live_processes} live process(es) blocked)")
+            if not stop_event.ok:
+                raise _t.cast(BaseException, stop_event._value)
+            return stop_event.value
+
+        if stop_time is not None:
+            # Queue drained before reaching stop_time: clock jumps ahead.
+            self._now = stop_time
+            return None
+
+        if self._live_processes:
+            raise DeadlockError(
+                f"simulation ended with {self._live_processes} process(es) "
+                "still waiting on events that can never fire")
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Environment t={self._now}ns queued={len(self._queue)} "
+                f"processed={self.events_processed}>")

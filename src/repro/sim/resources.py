@@ -1,0 +1,125 @@
+"""Shared-resource primitives: FIFO :class:`Store` and counting
+:class:`Resource`.
+
+These follow SimPy semantics.  The MPI layer uses bespoke matching
+queues, but stores/resources are the right tool for NIC queues, bounded
+buffers in applications, and tests of the engine itself.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from .events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """An unbounded-or-bounded FIFO of Python objects.
+
+    ``put(item)`` and ``get()`` both return events.  Gets complete in
+    request order (FIFO fairness); a bounded store blocks puts while
+    full.
+    """
+
+    def __init__(self, env: "Environment", capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: object) -> Event:
+        """Deposit ``item``; the returned event fires when stored."""
+        ev = Event(self.env)
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            self._putters.append((ev, item))
+        else:
+            self._deposit(item)
+            ev.succeed()
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; the event's value is the item."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    # -- internal --------------------------------------------------------
+    def _deposit(self, item: object) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self.items) < self.capacity):
+            ev, item = self._putters.popleft()
+            self._deposit(item)
+            ev.succeed()
+
+
+class Resource:
+    """A counting resource with ``capacity`` concurrent slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of pending (unserved) requests."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Acquire a slot; the returned event fires when granted."""
+        ev = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Give a slot back, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

@@ -1,0 +1,77 @@
+"""Simulation time base.
+
+All simulation timestamps and durations are **integer nanoseconds**.
+Integers make event ordering exact and runs bit-reproducible: there is
+no floating-point accumulation drift, and two events scheduled for the
+same instant compare equal rather than almost-equal.
+
+This module provides the unit constants and the only sanctioned
+conversion helpers.  Library code never multiplies by bare ``1e9``.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base tick).
+NANOSECOND: int = 1
+#: One microsecond in nanoseconds.
+MICROSECOND: int = 1_000
+#: One millisecond in nanoseconds.
+MILLISECOND: int = 1_000_000
+#: One second in nanoseconds.
+SECOND: int = 1_000_000_000
+
+# Short aliases used throughout the code base.
+NS = NANOSECOND
+US = MICROSECOND
+MS = MILLISECOND
+SEC = SECOND
+
+
+def ns_from_s(seconds: float) -> int:
+    """Convert seconds (float) to integer nanoseconds, rounding half up."""
+    return round(seconds * SECOND)
+
+
+def ns_from_ms(millis: float) -> int:
+    """Convert milliseconds (float) to integer nanoseconds."""
+    return round(millis * MILLISECOND)
+
+
+def ns_from_us(micros: float) -> int:
+    """Convert microseconds (float) to integer nanoseconds."""
+    return round(micros * MICROSECOND)
+
+
+def s_from_ns(ns: int) -> float:
+    """Convert integer nanoseconds to seconds (float)."""
+    return ns / SECOND
+
+
+def ms_from_ns(ns: int) -> float:
+    """Convert integer nanoseconds to milliseconds (float)."""
+    return ns / MILLISECOND
+
+
+def us_from_ns(ns: int) -> float:
+    """Convert integer nanoseconds to microseconds (float)."""
+    return ns / MICROSECOND
+
+
+def hz_to_period_ns(hz: float) -> int:
+    """Period in nanoseconds of an event recurring at ``hz`` per second.
+
+    Raises
+    ------
+    ValueError
+        If ``hz`` is not strictly positive.
+    """
+    if hz <= 0:
+        raise ValueError(f"frequency must be > 0, got {hz!r}")
+    return round(SECOND / hz)
+
+
+def period_ns_to_hz(period: int) -> float:
+    """Frequency in Hz of an event with the given period in nanoseconds."""
+    if period <= 0:
+        raise ValueError(f"period must be > 0 ns, got {period!r}")
+    return SECOND / period

@@ -1,0 +1,295 @@
+"""Tests for the analysis toolkit: stats, spectra, slowdown, absorption."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BSPModel,
+    SlowdownResult,
+    amplification_factor,
+    dominant_frequencies,
+    expected_max_wall,
+    expected_mean_wall,
+    find_peaks,
+    format_csv,
+    format_ns,
+    format_pct,
+    format_table,
+    pearson,
+    periodogram,
+    score_attribution,
+    slowdown,
+    summarize_series,
+    wall_time_by_phase,
+)
+from repro.sim import MS, US
+
+
+# -- stats -------------------------------------------------------------------
+
+def test_summarize_series_basic():
+    s = summarize_series([1, 2, 3, 4, 5])
+    assert s.n == 5
+    assert s.mean == 3
+    assert s.median == 3
+    assert s.minimum == 1
+    assert s.maximum == 5
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_series([])
+
+
+def test_cov_zero_for_flat_series():
+    assert summarize_series([7, 7, 7]).cov == 0.0
+
+
+# -- spectra -------------------------------------------------------------------
+
+def test_periodogram_finds_injected_tone():
+    # 100 Hz tone sampled at 1 kHz (1 ms quanta) for 4 s.
+    t = np.arange(4000) * 1e-3
+    series = 10 + np.sin(2 * np.pi * 100 * t)
+    freqs = dominant_frequencies(series, MS, top=1)
+    assert freqs[0] == pytest.approx(100.0, rel=0.02)
+
+
+def test_periodogram_flat_series_has_no_peaks():
+    spec = periodogram(np.full(1000, 5.0), MS)
+    assert find_peaks(spec) == []
+
+
+def test_periodogram_validates_input():
+    with pytest.raises(ValueError):
+        periodogram([1, 2, 3], MS)
+    with pytest.raises(ValueError):
+        periodogram(np.ones(100), 0)
+
+
+def test_multiple_tones_ranked_by_power():
+    t = np.arange(8000) * 1e-3
+    series = (3 * np.sin(2 * np.pi * 50 * t)
+              + 1 * np.sin(2 * np.pi * 200 * t))
+    freqs = dominant_frequencies(series, MS, top=2)
+    assert freqs[0] == pytest.approx(50.0, rel=0.05)
+    assert freqs[1] == pytest.approx(200.0, rel=0.05)
+
+
+# -- slowdown ----------------------------------------------------------------------
+
+def test_slowdown_metrics():
+    r = slowdown(1000, 1100, injected_utilization=0.025)
+    assert r.slowdown_percent == pytest.approx(10.0)
+    assert r.amplification == pytest.approx(4.0)
+    assert r.verdict == "amplified"
+
+
+def test_slowdown_verdicts():
+    assert slowdown(1000, 1005, 0.025).verdict == "absorbed"
+    assert slowdown(1000, 1025, 0.025).verdict == "transferred"
+    assert slowdown(1000, 1200, 0.025).verdict == "amplified"
+    assert slowdown(1000, 1200).verdict == "baseline"
+
+
+def test_slowdown_validation():
+    with pytest.raises(ValueError):
+        slowdown(0, 100)
+    with pytest.raises(ValueError):
+        slowdown(100, -1)
+    with pytest.raises(ValueError):
+        slowdown(100, 100, 1.0)
+
+
+def test_amplification_nan_without_injection():
+    assert amplification_factor(100, 200, 0.0) != amplification_factor(100, 200, 0.0)
+
+
+# -- absorption model ------------------------------------------------------------------
+
+def test_wall_time_by_phase_bounds():
+    walls = wall_time_by_phase(work=900, period=1000, duration=100)
+    # Work always >= raw work; at most work + 2 full events here.
+    assert walls.min() >= 900
+    assert walls.max() <= 900 + 2 * 100
+    # Mean inflation near the utilization.
+    assert walls.mean() == pytest.approx(1000, rel=0.06)
+
+
+def test_expected_max_grows_with_p_for_coarse_noise():
+    # Window much shorter than the period: classic amplification.
+    kwargs = dict(work=100 * US, period=100 * MS, duration=2500 * US)
+    e1 = expected_max_wall(1, **kwargs)
+    e64 = expected_max_wall(64, **kwargs)
+    e4096 = expected_max_wall(4096, **kwargs)
+    assert e1 < e64 < e4096
+    # At large P someone is almost surely hit: max ~ work + duration.
+    assert e4096 == pytest.approx(100 * US + 2500 * US, rel=0.05)
+
+
+def test_fine_noise_is_absorbed_in_model():
+    # Window spans many periods: max ~ mean ~ work/(1-u).
+    kwargs = dict(work=100 * MS, period=1 * MS, duration=25 * US)
+    mean = expected_mean_wall(**kwargs)
+    emax = expected_max_wall(4096, **kwargs)
+    assert emax / mean < 1.001
+
+
+def test_bsp_model_amplification_ordering():
+    model = BSPModel(work_ns=1 * MS, round_cost_ns=5 * US)
+    coarse = model.predict(1024, period=100 * MS, duration=2500 * US)
+    fine = model.predict(1024, period=1 * MS, duration=25 * US)
+    # Same 2.5% net noise; coarse amplifies far more than fine.
+    assert coarse.injected_utilization == pytest.approx(fine.injected_utilization)
+    assert coarse.amplification > 10 * fine.amplification
+    # Fine noise stays near-absorbed (amp ~2 from boundary straddling,
+    # versus tens for the coarse pattern).
+    assert fine.amplification < 2.5
+
+
+def test_bsp_model_quiet_iteration_scales_logarithmically():
+    model = BSPModel(work_ns=1 * MS, round_cost_ns=10 * US)
+    assert model.quiet_iteration(1) == 1 * MS
+    assert model.quiet_iteration(2) == 1 * MS + 10 * US
+    assert model.quiet_iteration(1024) == 1 * MS + 10 * 10 * US
+
+
+# -- correlation ----------------------------------------------------------------------------
+
+def test_pearson_perfect_correlation():
+    assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+    assert pearson([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_series_zero():
+    assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+def test_score_attribution_perfect():
+    d = [100, 200, 150]
+    s = score_attribution(d, [10, 110, 60], [10, 110, 60])
+    assert s.coverage == pytest.approx(1.0)
+    assert s.mean_abs_error_ns == 0.0
+    assert s.duration_vs_charged == pytest.approx(1.0)
+
+
+def test_score_attribution_validates():
+    with pytest.raises(ValueError):
+        score_attribution([1], [1], [1])
+
+
+# -- tables --------------------------------------------------------------------------------------
+
+def test_format_table_alignment_and_title():
+    text = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                        title="T1")
+    lines = text.splitlines()
+    assert lines[0] == "T1"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_validates_row_width():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_csv_quotes_commas():
+    out = format_csv(["a"], [["x,y"]])
+    assert '"x,y"' in out
+
+
+def test_format_helpers():
+    assert format_ns(1_500) == "1.5 us"
+    assert format_ns(2_500_000) == "2.5 ms"
+    assert format_ns(3_000_000_000) == "3 s"
+    assert format_ns(float("nan")) == "-"
+    assert format_pct(0.025) == "2.5%"
+    assert format_pct(float("nan")) == "-"
+
+
+# -- ascii plots ----------------------------------------------------------------
+
+def test_sparkline_shape():
+    from repro.analysis import sparkline
+    line = sparkline([0, 1, 2, 3, 2, 1, 0])
+    assert len(line) == 7
+    assert line[3] == "█"
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_ascii_series_renders_and_downsamples():
+    from repro.analysis import ascii_series
+    import numpy as np
+    values = np.sin(np.linspace(0, 6.28, 500)) + 1
+    text = ascii_series(values, width=40, height=8, title="sine")
+    lines = text.splitlines()
+    assert lines[0] == "sine"
+    assert len(lines) == 1 + 8 + 1  # title + rows + axis
+    assert all(len(line) <= 14 + 40 for line in lines[1:])
+    with pytest.raises(ValueError):
+        ascii_series([], width=10)
+    with pytest.raises(ValueError):
+        ascii_series([1], width=0)
+
+
+def test_ascii_bars_scaling():
+    from repro.analysis import ascii_bars
+    text = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("█") == 5
+    assert lines[1].count("█") == 10
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1, 2])
+    with pytest.raises(ValueError):
+        ascii_bars([], [])
+
+
+# -- noise budgeting ----------------------------------------------------------------
+
+def test_budget_inversion_monotone_and_valid():
+    from repro.analysis import BSPModel, max_event_duration
+    model = BSPModel(work_ns=1 * MS, round_cost_ns=5 * US)
+    b = max_event_duration(model, 256, period_ns=100 * MS,
+                           target_slowdown=0.05)
+    assert 0 < b.max_duration_ns < 100 * MS
+    assert b.predicted_slowdown <= 0.05
+    # A slightly longer event would bust the budget.
+    busted = model.predict(256, 100 * MS,
+                           b.max_duration_ns + 10_000).slowdown_fraction
+    assert busted > 0.05 * 0.9
+
+
+def test_budget_high_frequency_allows_more_total_cpu():
+    """At a fixed slowdown target, fine-grained activity may consume
+    more total CPU than coarse-grained — the budgeting corollary of
+    absorption."""
+    from repro.analysis import BSPModel, max_utilization_at
+    model = BSPModel(work_ns=1 * MS, round_cost_ns=5 * US)
+    coarse = max_utilization_at(model, 256, 100 * MS, 0.05)  # 10 Hz
+    fine = max_utilization_at(model, 256, 1 * MS, 0.05)      # 1000 Hz
+    assert fine > 2 * coarse
+
+
+def test_budget_relaxed_target_allows_high_utilization():
+    # Slowdown diverges as utilization -> 1 (1/(1-u) inflation), so even
+    # a huge target caps below the full period; target 10x admits ~90%.
+    from repro.analysis import BSPModel, max_event_duration
+    model = BSPModel(work_ns=10 * MS, round_cost_ns=1 * US)
+    b = max_event_duration(model, 4, period_ns=1 * MS,
+                           target_slowdown=10.0)
+    assert 0.85 < b.max_utilization < 0.95
+
+
+def test_budget_validation():
+    from repro.analysis import BSPModel, max_event_duration
+    from repro.errors import ConfigError
+    model = BSPModel(work_ns=1 * MS, round_cost_ns=5 * US)
+    with pytest.raises(ConfigError):
+        max_event_duration(model, 4, 100, 0.0)
+    with pytest.raises(ConfigError):
+        max_event_duration(model, 4, 1, 0.1)
+    with pytest.raises(ConfigError):
+        max_event_duration(model, 4, 100, 0.1, resolution_ns=0)

@@ -1,0 +1,157 @@
+"""Tests for communicator split/dup, the sampled absorption model, and
+the characterize CLI."""
+
+import io
+
+import pytest
+
+from repro.analysis import (
+    expected_max_wall,
+    expected_max_wall_sampled,
+    sampled_wall_times,
+)
+from repro.cli import main as cli_main
+from repro.core import Machine, MachineConfig
+from repro.errors import ConfigError, MPIError
+from repro.noise import BurstNoise, PeriodicNoise, PoissonNoise
+from repro.sim import MS, US
+
+
+# -- communicator split / dup --------------------------------------------------
+
+def test_split_by_parity():
+    m = Machine(MachineConfig(n_nodes=6))
+    comms = m.mpi.split(m.mpi.world, [r % 2 for r in range(6)])
+    assert set(comms) == {0, 1}
+    assert comms[0].node_of_rank == (0, 2, 4)
+    assert comms[1].node_of_rank == (1, 3, 5)
+
+
+def test_split_with_keys_reorders():
+    m = Machine(MachineConfig(n_nodes=4))
+    comms = m.mpi.split(m.mpi.world, [0, 0, 0, 0], keys=[3, 2, 1, 0])
+    assert comms[0].node_of_rank == (3, 2, 1, 0)
+
+
+def test_split_negative_color_excludes():
+    m = Machine(MachineConfig(n_nodes=4))
+    comms = m.mpi.split(m.mpi.world, [0, -1, 0, -1])
+    assert comms[0].node_of_rank == (0, 2)
+    assert len(comms) == 1
+
+
+def test_split_validates_lengths():
+    m = Machine(MachineConfig(n_nodes=4))
+    with pytest.raises(MPIError):
+        m.mpi.split(m.mpi.world, [0, 1])
+    with pytest.raises(MPIError):
+        m.mpi.split(m.mpi.world, [0] * 4, keys=[0])
+
+
+def test_split_groups_communicate_independently():
+    m = Machine(MachineConfig(n_nodes=4))
+    comms = m.mpi.split(m.mpi.world, [0, 1, 0, 1])
+
+    def prog(ctx):
+        return (yield from ctx.allreduce(size=8, payload=ctx.node_id))
+
+    procs = []
+    for comm in comms.values():
+        procs.extend(m.launch(prog, comm=comm))
+    m.run_to_completion(procs)
+    values = [p.value for p in procs]
+    assert values == [0 + 2, 0 + 2, 1 + 3, 1 + 3]
+
+
+def test_dup_isolates_matching_scope():
+    m = Machine(MachineConfig(n_nodes=2))
+    dup = m.mpi.dup(m.mpi.world)
+    assert dup.comm_id != m.mpi.world.comm_id
+    assert dup.node_of_rank == m.mpi.world.node_of_rank
+
+    def sender(ctx_w, ctx_d):
+        yield from ctx_d.send(1, size=0, payload="dup")
+        yield from ctx_w.send(1, size=0, payload="world")
+
+    def receiver(ctx_w, ctx_d):
+        w = yield from ctx_w.recv(0)
+        d = yield from ctx_d.recv(0)
+        return (w.payload, d.payload)
+
+    p0 = m.env.process(sender(m.mpi.rank_context(0),
+                              m.mpi.rank_context(0, dup)))
+    p1 = m.env.process(receiver(m.mpi.rank_context(1),
+                                m.mpi.rank_context(1, dup)))
+    m.run_to_completion([p0, p1])
+    assert p1.value == ("world", "dup")
+
+
+# -- sampled absorption model -----------------------------------------------------
+
+def test_sampled_matches_closed_form_for_periodic():
+    src = PeriodicNoise.from_utilization(0.025, 100)
+    closed = expected_max_wall(32, 1 * MS, src.period, src.duration)
+    sampled = expected_max_wall_sampled(src, 32, 1 * MS, n_windows=4096,
+                                        horizon_ns=src.period * 37)
+    assert sampled == pytest.approx(closed, rel=0.02)
+
+
+def test_sampled_model_handles_poisson_and_burst():
+    for src in (PoissonNoise(100, 250 * US, seed=5),
+                BurstNoise(10 * MS, 50 * US, 5, 5 * US)):
+        walls = sampled_wall_times(src, 1 * MS, n_windows=512)
+        assert walls.min() >= 1 * MS
+        emax = expected_max_wall_sampled(src, 64, 1 * MS, n_windows=512)
+        assert emax >= walls.mean()
+
+
+def test_sampled_model_validation():
+    src = PeriodicNoise(1000, 10)
+    with pytest.raises(ConfigError):
+        sampled_wall_times(src, -1)
+    with pytest.raises(ConfigError):
+        sampled_wall_times(src, 100, n_windows=0)
+
+
+def test_sampled_max_grows_with_p():
+    src = PeriodicNoise.from_utilization(0.025, 10)
+    e4 = expected_max_wall_sampled(src, 4, 1 * MS, n_windows=1024)
+    e256 = expected_max_wall_sampled(src, 256, 1 * MS, n_windows=1024)
+    assert e256 > e4
+
+
+# -- characterize CLI --------------------------------------------------------------
+
+def test_cli_characterize_quiet_kernel():
+    out = io.StringIO()
+    code = cli_main(["characterize", "--kernel", "lightweight",
+                     "--nodes", "2", "--seconds", "0.5"], out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert "0.000% CPU lost" in text
+    assert "none (flat)" in text
+
+
+def test_cli_characterize_noisy_kernel():
+    out = io.StringIO()
+    code = cli_main(["characterize", "--kernel", "tuned-linux",
+                     "--nodes", "2", "--seconds", "1.0",
+                     "--pattern", "1pct@10Hz"], out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert "detours" in text
+    assert "PSNAP fleet" in text
+
+
+def test_cli_sweep_table_and_csv(tmp_path):
+    out = io.StringIO()
+    csv_path = tmp_path / "sweep.csv"
+    code = cli_main(["sweep", "--app", "bsp", "--nodes", "2,4",
+                     "--patterns", "quiet,2.5pct@100Hz", "--seed", "1",
+                     "--csv", str(csv_path)], out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert "sweep: bsp" in text
+    assert "2.5pct@100Hz" in text
+    lines = csv_path.read_text().splitlines()
+    assert len(lines) == 5  # header + 4 points

@@ -1,0 +1,107 @@
+"""Tests for profile diffing and network latency jitter."""
+
+import pytest
+
+from repro.apps import StencilApp
+from repro.core import Machine, MachineConfig
+from repro.errors import ConfigError
+from repro.ktau import KtauTracer, build_kernel_profile, diff_profiles
+from repro.net import LogGPParams
+from repro.sim import MS
+
+
+def _profile_for(kernel: str, seed: int = 5):
+    machine = Machine(MachineConfig(n_nodes=4, kernel=kernel, seed=seed))
+    tracer = KtauTracer(machine)
+    app = StencilApp(work_ns=20 * MS, halo_bytes=4096, iterations=60,
+                     dt_interval=0).bind_tracer(tracer)
+    machine.run_to_completion(machine.launch(app))
+    return build_kernel_profile(tracer, 0, 0, machine.env.now)
+
+
+# -- profile diffing -------------------------------------------------------------
+
+def test_diff_commodity_vs_tuned_shows_improvement():
+    before = _profile_for("commodity-linux")
+    after = _profile_for("tuned-linux")
+    diff = diff_profiles(before, after)
+    # Tuning lowered total kernel share.
+    assert diff.utilization_delta < 0
+    # The timer interrupt got cheaper (HZ 1000 -> 100).
+    timer = [d for d in diff.deltas if d.source == "timer-irq"][0]
+    assert timer.after_rate_hz < timer.before_rate_hz
+    assert timer.utilization_delta < 0
+    # Daemons that were removed vanish from the profile.
+    vanished = {d.source for d in diff.deltas if d.vanished}
+    assert "pdflush" in vanished or "ntpd" in vanished or "cron-monitor" in vanished
+
+
+def test_diff_improvements_and_regressions_partition():
+    before = _profile_for("commodity-linux")
+    after = _profile_for("tuned-linux")
+    diff = diff_profiles(before, after)
+    imps = diff.improvements()
+    regs = diff.regressions()
+    assert all(d.utilization_delta < 0 for d in imps)
+    assert all(d.utilization_delta > 0 for d in regs)
+    # Sorted: best improvement first.
+    deltas = [d.utilization_delta for d in imps]
+    assert deltas == sorted(deltas)
+
+
+def test_diff_same_profile_is_neutral():
+    prof = _profile_for("tuned-linux")
+    diff = diff_profiles(prof, prof)
+    assert diff.utilization_delta == 0
+    assert not diff.improvements()
+    assert not diff.regressions()
+    assert not any(d.appeared or d.vanished for d in diff.deltas)
+
+
+# -- network jitter ---------------------------------------------------------------
+
+def _ping(params: LogGPParams, seed: int = 0, n: int = 20) -> list[int]:
+    m = Machine(MachineConfig(n_nodes=2, network=params, seed=seed))
+    times = []
+
+    def sender(ctx):
+        for i in range(n):
+            t0 = ctx.env.now
+            yield from ctx.send(1, size=0, tag=i)
+            msg = yield from ctx.recv(1, tag=i)
+            times.append(ctx.env.now - t0)
+
+    def echo(ctx):
+        for i in range(n):
+            yield from ctx.recv(0, tag=i)
+            yield from ctx.send(0, size=0, tag=i)
+
+    p0 = m.env.process(sender(m.mpi.rank_context(0)))
+    p1 = m.env.process(echo(m.mpi.rank_context(1)))
+    m.run_to_completion([p0, p1])
+    return times
+
+
+def test_zero_jitter_is_deterministic():
+    times = _ping(LogGPParams(L=5000, o=500, g=0, G=0.0))
+    assert len(set(times)) == 1
+
+
+def test_jitter_spreads_latency():
+    params = LogGPParams(L=5000, o=500, g=0, G=0.0, jitter_ns=2000)
+    times = _ping(params)
+    assert len(set(times)) > 1
+    base = min(_ping(LogGPParams(L=5000, o=500, g=0, G=0.0)))
+    assert min(times) >= base
+    assert max(times) <= base + 2 * 2000  # two one-way jitters per ping
+
+
+def test_jitter_deterministic_per_seed():
+    params = LogGPParams(L=5000, o=500, g=0, G=0.0, jitter_ns=2000)
+    assert _ping(params, seed=1) == _ping(params, seed=1)
+    assert _ping(params, seed=1) != _ping(params, seed=2)
+
+
+def test_negative_jitter_rejected():
+    with pytest.raises(ConfigError):
+        LogGPParams(jitter_ns=-1)

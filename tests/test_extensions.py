@@ -1,0 +1,208 @@
+"""Tests for extensions: scan/exscan/reduce_scatter, the transpose app,
+core-specialization noise isolation, and the CLI."""
+
+import io
+
+import pytest
+
+from repro.apps import TransposeApp, build_workload
+from repro.cli import main as cli_main
+from repro.core import ExperimentConfig, Machine, MachineConfig, run_with_baseline
+from repro.errors import MPIError
+from repro.kernel import KernelConfig
+from repro.noise import InjectionPlan, NullNoise
+from repro.sim import MS
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+def _run_collective(n_nodes, program):
+    m = Machine(MachineConfig(n_nodes=n_nodes))
+    procs = m.launch(program)
+    m.run_to_completion(procs)
+    return [p.value for p in procs]
+
+
+# -- scan / exscan / reduce_scatter -----------------------------------------------
+
+@pytest.mark.parametrize("P", SIZES)
+def test_scan_inclusive_prefix(P):
+    def prog(ctx):
+        return (yield from ctx.scan(size=8, payload=ctx.rank + 1))
+
+    values = _run_collective(P, prog)
+    assert values == [sum(range(1, r + 2)) for r in range(P)]
+
+
+@pytest.mark.parametrize("P", SIZES)
+def test_exscan_exclusive_prefix(P):
+    def prog(ctx):
+        return (yield from ctx.exscan(size=8, payload=ctx.rank + 1))
+
+    values = _run_collective(P, prog)
+    expected = [None] + [sum(range(1, r + 1)) for r in range(1, P)]
+    assert values == expected
+
+
+def test_scan_custom_op():
+    def prog(ctx):
+        return (yield from ctx.scan(size=8, payload=ctx.rank, op=max))
+
+    values = _run_collective(6, prog)
+    assert values == list(range(6))
+
+
+@pytest.mark.parametrize("P", SIZES)
+def test_reduce_scatter_blocks(P):
+    def prog(ctx):
+        payloads = [ctx.rank * 10 + i for i in range(ctx.size)]
+        return (yield from ctx.reduce_scatter(size=8, payloads=payloads))
+
+    values = _run_collective(P, prog)
+    assert values == [sum(src * 10 + r for src in range(P)) for r in range(P)]
+
+
+def test_reduce_scatter_payload_length_checked():
+    def prog(ctx):
+        return (yield from ctx.reduce_scatter(size=8, payloads=[1]))
+
+    m = Machine(MachineConfig(n_nodes=4))
+    m.launch(prog)
+    with pytest.raises(MPIError):
+        m.run()
+
+
+def test_reduce_scatter_timing_only():
+    def prog(ctx):
+        return (yield from ctx.reduce_scatter(size=64))
+
+    values = _run_collective(4, prog)
+    assert values == [None] * 4
+
+
+# -- transpose app ------------------------------------------------------------------
+
+def test_transpose_block_size_shrinks_with_p():
+    app = TransposeApp(total_bytes=1 << 20)
+    assert app.block_bytes(4) == (1 << 20) // 16
+    assert app.block_bytes(1024) == 1
+    with pytest.raises(Exception):
+        TransposeApp(total_bytes=0)
+
+
+def test_transpose_runs_and_records():
+    m = Machine(MachineConfig(n_nodes=6))
+    app = build_workload("transpose", iterations=3, work_ns=100_000)
+    m.run_to_completion(m.launch(app))
+    assert app.all_durations_ns().shape == (6, 3)
+    # 2 alltoalls x 5 partners x 6 ranks x 3 iterations messages at least.
+    assert m.network.messages_transferred >= 2 * 5 * 6 * 3
+
+
+def test_transpose_sensitive_to_coarse_noise():
+    cmp = run_with_baseline(ExperimentConfig(
+        app="transpose", nodes=9, noise_pattern="2.5pct@10Hz", seed=3,
+        app_params=dict(work_ns=1_000_000, iterations=15)))
+    assert cmp.slowdown.slowdown_percent > 2.5
+
+
+# -- noise isolation (core specialization) ----------------------------------------------
+
+def test_isolated_node_has_clean_app_core():
+    m = Machine(MachineConfig(n_nodes=2, kernel="commodity-linux",
+                              isolate_noise=True, seed=1))
+    node = m.nodes[0]
+    assert isinstance(node.noise, NullNoise)
+    assert node.spare_core_noise is not None
+    assert node.spare_core_noise.utilization > 0
+
+
+def test_isolation_keeps_injected_noise_on_app_core():
+    m = Machine(MachineConfig(n_nodes=2, kernel="commodity-linux",
+                              injection=InjectionPlan("2.5pct@100Hz", seed=1),
+                              isolate_noise=True, seed=1))
+    node = m.nodes[0]
+    assert node.noise.utilization == pytest.approx(0.025)
+    assert node.spare_core_noise is not None
+
+
+def test_isolation_speeds_up_commodity_kernel():
+    def span(isolate):
+        m = Machine(MachineConfig(n_nodes=4, kernel="commodity-linux",
+                                  seed=2, isolate_noise=isolate))
+        app = build_workload("bsp", work_ns=2 * MS, iterations=30)
+        m.run_to_completion(m.launch(app))
+        return app.makespan_ns()
+
+    assert span(True) < span(False)
+
+
+def test_isolation_noop_for_lightweight_kernel():
+    def span(isolate):
+        m = Machine(MachineConfig(n_nodes=2, kernel="lightweight",
+                                  seed=2, isolate_noise=isolate))
+        app = build_workload("bsp", work_ns=1 * MS, iterations=10)
+        m.run_to_completion(m.launch(app))
+        return app.makespan_ns()
+
+    assert span(True) == span(False)
+
+
+def test_isolated_nic_delays_but_does_not_steal():
+    kernel = KernelConfig.commodity_linux()
+    m = Machine(MachineConfig(n_nodes=2, kernel=kernel, isolate_noise=True))
+
+    def sender(ctx):
+        yield from ctx.send(1, size=4096)
+
+    def receiver(ctx):
+        msg = yield from ctx.recv(0)
+        return msg.delivered_at
+
+    p0 = m.env.process(sender(m.mpi.rank_context(0)))
+    p1 = m.env.process(receiver(m.mpi.rank_context(1)))
+    m.run_to_completion([p0, p1])
+    # Delivery still includes rx processing time...
+    assert p1.value >= kernel.nic.rx_cost(4096)
+    # ...but no CPU was stolen from the app core.
+    assert m.nodes[1].cpu.transient_stolen_ns == 0
+
+
+# -- CLI --------------------------------------------------------------------------------
+
+def test_cli_list():
+    out = io.StringIO()
+    assert cli_main(["list"], out=out) == 0
+    text = out.getvalue()
+    assert "E12" in text
+    assert "transpose" in text
+    assert "2.5pct@100Hz" in text
+
+
+def test_cli_compare():
+    out = io.StringIO()
+    code = cli_main(["compare", "--app", "bsp", "--nodes", "4",
+                     "--pattern", "2.5pct@100Hz", "--seed", "1"], out=out)
+    assert code == 0
+    assert "slowdown" in out.getvalue()
+
+
+def test_cli_compare_rejects_quiet():
+    out = io.StringIO()
+    code = cli_main(["compare", "--pattern", "quiet"], out=out)
+    assert code == 2
+    assert "error:" in out.getvalue()
+
+
+def test_cli_run_writes_csv(tmp_path):
+    out = io.StringIO()
+    csv_path = tmp_path / "e6.csv"
+    code = cli_main(["run", "E6", "--csv", str(csv_path)], out=out)
+    assert code == 0
+    assert "[PASS]" in out.getvalue()
+    assert csv_path.read_text().startswith("node,")
+
+
+def test_cli_run_unknown_experiment():
+    out = io.StringIO()
+    assert cli_main(["run", "E99"], out=out) == 2

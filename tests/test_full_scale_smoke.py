@@ -1,0 +1,20 @@
+"""Smoke test for the experiments' "full" scale paths.
+
+Only the cheaper experiments run at full scale here (each benchmark
+already exercises its "small" path); this guards the full-scale
+parameter branches against rot without multi-minute CI runs.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_e6_full_scale_runs_and_passes():
+    report = run_experiment("E6", "full")
+    assert report.passed, report.failed_checks()
+    # Full scale records more intervals than small.
+    assert all(row[1] == 400 for row in report.rows)
+
+
+def test_e7_full_scale_runs_and_passes():
+    report = run_experiment("E7", "full")
+    assert report.passed, report.failed_checks()

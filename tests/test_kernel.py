@@ -1,0 +1,310 @@
+"""Tests for the kernel model: config, activities, CPU, node."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.kernel import (
+    CPU,
+    DaemonSpec,
+    KernelConfig,
+    NICCostModel,
+    Node,
+    TIMER_SOURCE,
+    build_kernel_noise,
+    build_kernel_sources,
+)
+from repro.noise import CompositeNoise, NullNoise, PeriodicNoise
+from repro.sim import MS, SEC, US, Environment
+
+
+# -- config ------------------------------------------------------------------
+
+def test_lightweight_preset_is_silent():
+    cfg = KernelConfig.lightweight()
+    assert cfg.hz == 0
+    assert cfg.background_utilization == 0.0
+    assert cfg.daemons == ()
+
+
+def test_commodity_linux_preset_properties():
+    cfg = KernelConfig.commodity_linux()
+    assert cfg.hz == 1000
+    assert cfg.tick_period_ns == MS
+    assert 0 < cfg.background_utilization < 0.05
+    assert {d.name for d in cfg.daemons} >= {"kswapd", "pdflush"}
+
+
+def test_preset_lookup():
+    assert KernelConfig.preset("tuned-linux").hz == 100
+    with pytest.raises(ConfigError):
+        KernelConfig.preset("windows-nt")
+
+
+def test_daemon_spec_validation():
+    with pytest.raises(ConfigError):
+        DaemonSpec("", SEC, MS)
+    with pytest.raises(ConfigError):
+        DaemonSpec("d", 0, MS)
+    with pytest.raises(ConfigError):
+        DaemonSpec("d", MS, MS)  # duration >= interval (periodic)
+    with pytest.raises(ConfigError):
+        DaemonSpec("d", SEC, MS, arrival="quantum")
+    # poisson daemons may have duration >= interval-mean
+    DaemonSpec("d", 2 * MS, MS, arrival="poisson")
+
+
+def test_kernel_config_validation():
+    with pytest.raises(ConfigError):
+        KernelConfig(hz=-1)
+    with pytest.raises(ConfigError):
+        KernelConfig(hz=1000, tick_cost_ns=0)
+    with pytest.raises(ConfigError):
+        KernelConfig(hz=1000, tick_cost_ns=10, tick_heavy_cost_ns=5)
+    with pytest.raises(ConfigError):
+        KernelConfig(hz=1000, tick_heavy_cost_ns=2 * MS)  # > period
+    with pytest.raises(ConfigError):
+        KernelConfig(daemons=(DaemonSpec("x", SEC, MS),
+                              DaemonSpec("x", SEC, MS)))
+
+
+def test_implausible_utilization_rejected():
+    with pytest.raises(ConfigError):
+        KernelConfig(daemons=(DaemonSpec("hog", 10, 6, arrival="poisson"),))
+
+
+def test_nic_cost_model():
+    nic = NICCostModel(rx_irq_ns=2000, rx_softirq_base_ns=3000,
+                       rx_softirq_per_kb_ns=1000, tx_overhead_ns=500)
+    assert nic.rx_cost(0) == 5000
+    assert nic.rx_cost(2048) == 7000
+    with pytest.raises(ValueError):
+        nic.rx_cost(-1)
+    with pytest.raises(ConfigError):
+        NICCostModel(rx_irq_ns=-1)
+
+
+# -- activities ---------------------------------------------------------------
+
+def test_lightweight_kernel_builds_null_noise():
+    noise = build_kernel_noise(KernelConfig.lightweight(), 0)
+    assert isinstance(noise, NullNoise)
+
+
+def test_commodity_kernel_builds_named_sources():
+    sources = build_kernel_sources(KernelConfig.commodity_linux(), 0, seed=1)
+    names = {s.name for s in sources}
+    assert TIMER_SOURCE in names
+    assert "kswapd" in names
+
+
+def test_kernel_sources_phase_differs_across_nodes():
+    cfg = KernelConfig.tuned_linux()
+    a = build_kernel_sources(cfg, 0, seed=1)
+    b = build_kernel_sources(cfg, 1, seed=1)
+    assert a[0].phase != b[0].phase
+
+
+def test_kernel_sources_deterministic_in_seed():
+    cfg = KernelConfig.tuned_linux()
+    a = build_kernel_sources(cfg, 3, seed=9)
+    b = build_kernel_sources(cfg, 3, seed=9)
+    assert a[0].phase == b[0].phase
+    assert a[0].events_in(0, SEC) == b[0].events_in(0, SEC)
+
+
+def test_injected_noise_is_merged():
+    injected = PeriodicNoise(10 * MS, 250 * US, name="injected")
+    noise = build_kernel_noise(KernelConfig.lightweight(), 0, injected=[injected])
+    assert noise.name == "injected"  # single source passes through
+    noise2 = build_kernel_noise(KernelConfig.tuned_linux(), 0,
+                                injected=[injected])
+    assert isinstance(noise2, CompositeNoise)
+    assert "injected" in {s.name for s in noise2.sources}
+
+
+def test_injected_null_noise_is_dropped():
+    noise = build_kernel_noise(KernelConfig.lightweight(), 0,
+                               injected=[NullNoise()])
+    assert isinstance(noise, NullNoise)
+
+
+# -- CPU ------------------------------------------------------------------------
+
+def test_cpu_compute_without_noise_is_exact():
+    env = Environment()
+    cpu = CPU(env, NullNoise())
+
+    def proc(env):
+        yield from cpu.compute(12_345)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 12_345
+    assert cpu.work_executed_ns == 12_345
+
+
+def test_cpu_compute_inflated_by_noise():
+    env = Environment()
+    cpu = CPU(env, PeriodicNoise(100, 10))  # 10%
+
+    def proc(env):
+        yield from cpu.compute(900)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 1000
+
+
+def test_cpu_zero_work_is_instant():
+    env = Environment()
+    cpu = CPU(env, PeriodicNoise(100, 10))
+
+    def proc(env):
+        yield from cpu.compute(0)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 0
+
+
+def test_cpu_negative_work_rejected():
+    env = Environment()
+    cpu = CPU(env, NullNoise())
+
+    def proc(env):
+        yield from cpu.compute(-1)
+
+    env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_cpu_nested_compute_rejected():
+    env = Environment()
+    cpu = CPU(env, NullNoise())
+
+    def inner(env):
+        yield from cpu.compute(100)
+
+    def outer(env):
+        env.process(inner(env))
+        yield env.timeout(1)
+        yield from cpu.compute(100)
+
+    env.process(outer(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_transient_steal_extends_active_compute():
+    env = Environment()
+    cpu = CPU(env, NullNoise())
+
+    def worker(env):
+        yield from cpu.compute(1000)
+        return env.now
+
+    def stealer(env):
+        yield env.timeout(500)
+        done_at = cpu.steal_transient(200, "nic-rx")
+        assert done_at == 700
+
+    p = env.process(worker(env))
+    env.process(stealer(env))
+    assert env.run(until=p) == 1200
+    assert cpu.transient_stolen_ns == 200
+
+
+def test_transient_steal_while_idle_does_not_charge_later_compute():
+    env = Environment()
+    cpu = CPU(env, NullNoise())
+    times = {}
+
+    def worker(env):
+        yield env.timeout(100)  # idle while the steal happens at t=50
+        yield from cpu.compute(1000)
+        times["done"] = env.now
+
+    def stealer(env):
+        yield env.timeout(50)
+        assert cpu.steal_transient(200, "nic-rx") == 250
+
+    env.process(worker(env))
+    env.process(stealer(env))
+    env.run()
+    assert times["done"] == 1100
+
+
+def test_steal_listener_invoked():
+    env = Environment()
+    cpu = CPU(env, NullNoise())
+    seen = []
+    cpu.add_steal_listener(lambda s, d, src: seen.append((s, d, src)))
+
+    def proc(env):
+        yield env.timeout(10)
+        cpu.steal_transient(5, "nic-rx")
+        cpu.steal_transient(0, "nic-rx")  # zero-cost steals are invisible
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(10, 5, "nic-rx")]
+
+
+def test_stolen_breakdown_per_source():
+    env = Environment()
+    comp = CompositeNoise([PeriodicNoise(100, 10, name="a"),
+                           PeriodicNoise(200, 20, phase=50, name="b")])
+    cpu = CPU(env, comp)
+    bd = cpu.stolen_breakdown(0, 1000)
+    assert bd == {"a": 100, "b": 100}
+    assert CPU(env, NullNoise()).stolen_breakdown(0, 1000) == {}
+
+
+# -- node ---------------------------------------------------------------------------
+
+def test_node_compute_service():
+    env = Environment()
+    node = Node(env, 0, KernelConfig.lightweight())
+
+    def proc(env):
+        yield from node.compute(500)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 500
+
+
+def test_node_syscall_costs_and_counts():
+    env = Environment()
+    node = Node(env, 0, KernelConfig.lightweight())  # syscall_ns=500
+
+    def proc(env):
+        yield from node.syscall()
+        yield from node.syscall(extra_work=100)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 500 + 600
+    assert node.syscall_count == 2
+
+
+def test_node_invalid_id():
+    with pytest.raises(ConfigError):
+        Node(Environment(), -1, KernelConfig.lightweight())
+
+
+def test_node_kernel_noise_slows_apps():
+    env = Environment()
+    node = Node(env, 0, KernelConfig.commodity_linux(), seed=5)
+    work = 100 * MS
+
+    def proc(env):
+        yield from node.compute(work)
+        return env.now
+
+    p = env.process(proc(env))
+    elapsed = env.run(until=p)
+    # Inflated, but by less than ~2x the nominal background utilization.
+    util = node.config.background_utilization
+    assert work < elapsed < work * (1 + 4 * util)

@@ -1,0 +1,282 @@
+"""Tests for the observer: tracer, profiles, attribution, ghost hunt."""
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.errors import ConfigError, TraceError
+from repro.kernel import DaemonSpec, KernelConfig
+from repro.ktau import (
+    EventKind,
+    KtauTracer,
+    OverheadModel,
+    attribute_intervals,
+    build_app_profile,
+    build_kernel_profile,
+    candidate_frequencies,
+    classify_source,
+    explain_slow_intervals,
+    hunt,
+    summarize_attribution,
+)
+from repro.noise import InjectionPlan, PeriodicNoise
+from repro.sim import MS, SEC, US
+
+
+def _observed_machine(n=2, kernel="commodity-linux", injection=None,
+                      level="trace", overhead=None, seed=3):
+    m = Machine(MachineConfig(n_nodes=n, kernel=kernel, injection=injection,
+                              seed=seed))
+    tracer = KtauTracer(m, level=level, overhead=overhead)
+    return m, tracer
+
+
+def _run_iterations(m, tracer, n_iter=10, work=2 * MS, allreduce=True):
+    def prog(ctx):
+        for i in range(n_iter):
+            with tracer.app_interval(ctx.node_id, "iteration", i=i):
+                yield from ctx.compute(work)
+                if allreduce and ctx.size > 1:
+                    yield from ctx.allreduce(size=8)
+
+    procs = m.launch(prog)
+    m.run_to_completion(procs)
+
+
+# -- records -------------------------------------------------------------------
+
+def test_classify_sources():
+    assert classify_source("timer-irq") == EventKind.INTERRUPT
+    assert classify_source("nic-rx") == EventKind.SOFTIRQ
+    assert classify_source("kswapd") == EventKind.DAEMON
+    assert classify_source("syscall") == EventKind.SYSCALL
+    assert classify_source("2.5pct@100hz") == EventKind.INJECTED
+    assert classify_source("ktau-overhead") == EventKind.OBSERVER
+    assert classify_source("mystery") == EventKind.OTHER
+
+
+# -- tracer wiring -----------------------------------------------------------------
+
+def test_tracer_rejects_double_attach():
+    m, tracer = _observed_machine()
+    with pytest.raises(ConfigError):
+        KtauTracer(m)
+
+
+def test_tracer_rejects_bad_level():
+    m = Machine(MachineConfig(n_nodes=1))
+    with pytest.raises(ConfigError):
+        KtauTracer(m, level="debug")
+
+
+def test_app_intervals_recorded_with_meta():
+    m, tracer = _observed_machine(n=2)
+    _run_iterations(m, tracer, n_iter=4)
+    recs = tracer.app_intervals(0, "iteration")
+    assert len(recs) == 4
+    assert [r.meta["i"] for r in recs] == [0, 1, 2, 3]
+    assert all(r.end > r.start for r in recs)
+
+
+def test_profile_level_blocks_trace_queries():
+    m, tracer = _observed_machine(level="profile")
+    _run_iterations(m, tracer, n_iter=2)
+    with pytest.raises(TraceError):
+        tracer.app_intervals(0)
+    with pytest.raises(TraceError):
+        tracer.kernel_events_between(0, 0, SEC)
+    # Aggregates still available.
+    assert isinstance(tracer.aggregate_counters(0), dict)
+
+
+def test_kernel_events_merge_background_and_transient():
+    m, tracer = _observed_machine(n=2, kernel="commodity-linux")
+    _run_iterations(m, tracer, n_iter=3)
+    events = tracer.kernel_events_between(0, 0, m.env.now)
+    sources = {e.source for e in events}
+    assert "timer-irq" in sources      # background
+    assert "nic-rx" in sources         # transient (allreduce traffic)
+    starts = [e.start for e in events]
+    assert starts == sorted(starts)
+
+
+def test_stolen_breakdown_includes_injected():
+    m, tracer = _observed_machine(
+        n=2, kernel="lightweight",
+        injection=InjectionPlan("2.5pct@100Hz", alignment="synchronized"))
+    _run_iterations(m, tracer, n_iter=40, allreduce=False)
+    bd = tracer.stolen_breakdown(0, 0, m.env.now)
+    assert bd.get("2.5pct@100hz", 0) > 0
+    # 2.5% of the elapsed window, within boundary-rounding slack.
+    assert bd["2.5pct@100hz"] / m.env.now == pytest.approx(0.025, rel=0.2)
+
+
+def test_unknown_node_rejected():
+    m, tracer = _observed_machine()
+    with pytest.raises(TraceError):
+        tracer.stolen_breakdown(99, 0, 100)
+
+
+# -- overhead --------------------------------------------------------------------------
+
+def test_overhead_model_validation():
+    with pytest.raises(ConfigError):
+        OverheadModel(per_kernel_event_ns=-1)
+    with pytest.raises(ConfigError):
+        OverheadModel(flush_every=10)  # missing flush cost
+    with pytest.raises(ConfigError):
+        OverheadModel.preset("verbose")
+
+
+def test_observer_overhead_slows_the_machine():
+    def timed(overhead):
+        m, tracer = _observed_machine(n=2, kernel="commodity-linux",
+                                      overhead=overhead)
+        _run_iterations(m, tracer, n_iter=10)
+        return m.env.now
+
+    free = timed(None)
+    trace = timed("trace")
+    assert trace > free
+    # ...but only slightly (< 2%): observation must not dominate.
+    assert (trace - free) / free < 0.02
+
+
+def test_overhead_charged_is_tracked():
+    m, tracer = _observed_machine(n=1, kernel="lightweight",
+                                  overhead=OverheadModel(per_app_event_ns=100))
+
+    def prog(ctx):
+        for i in range(5):
+            with tracer.app_interval(ctx.node_id, "it"):
+                yield from ctx.compute(1000)
+
+    procs = m.launch(prog)
+    m.run_to_completion(procs)
+    # 5 intervals x 2 markers x 100 ns.
+    assert tracer.overhead_charged_ns[0] == 1000
+
+
+# -- profiles -------------------------------------------------------------------------------
+
+def test_kernel_profile_entries_and_utilization():
+    m, tracer = _observed_machine(
+        n=1, kernel="lightweight",
+        injection=InjectionPlan("2.5pct@100Hz", alignment="synchronized"))
+    _run_iterations(m, tracer, n_iter=40, allreduce=False)
+    prof = build_kernel_profile(tracer, 0, 0, m.env.now)
+    entry = prof.entry("2.5pct@100hz")
+    assert entry.kind == EventKind.INJECTED
+    assert entry.count > 0
+    assert entry.max_ns == 250 * US
+    assert prof.utilization == pytest.approx(0.025, rel=0.2)
+    with pytest.raises(TraceError):
+        prof.entry("nonexistent")
+
+
+def test_kernel_profile_by_kind_ordering():
+    m, tracer = _observed_machine(n=2, kernel="commodity-linux")
+    _run_iterations(m, tracer)
+    prof = build_kernel_profile(tracer, 0, 0, m.env.now)
+    kinds = list(prof.by_kind().keys())
+    assert kinds == [k for k in EventKind.ORDER if k in kinds]
+    assert EventKind.INTERRUPT in kinds
+
+
+def test_empty_profile_window_rejected():
+    m, tracer = _observed_machine()
+    _run_iterations(m, tracer, n_iter=1)
+    with pytest.raises(TraceError):
+        build_kernel_profile(tracer, 0, 100, 100)
+
+
+def test_app_profile_aggregates():
+    m, tracer = _observed_machine(n=2, kernel="commodity-linux")
+    _run_iterations(m, tracer, n_iter=6)
+    profs = build_app_profile(tracer, 0)
+    prof = profs["iteration"]
+    assert prof.count == 6
+    assert prof.min_wall_ns <= prof.mean_wall_ns <= prof.max_wall_ns
+    assert 0 <= prof.noise_fraction < 0.5
+
+
+# -- attribution ----------------------------------------------------------------------------
+
+def test_attribution_accounts_for_injected_noise():
+    m, tracer = _observed_machine(
+        n=1, kernel="lightweight",
+        injection=InjectionPlan("2.5pct@10Hz", alignment="synchronized"))
+    _run_iterations(m, tracer, n_iter=40, work=50 * MS, allreduce=False)
+    atts = attribute_intervals(tracer, 0, "iteration")
+    assert len(atts) == 40
+    summary = summarize_attribution(atts)
+    assert summary.noise_fraction == pytest.approx(0.025, rel=0.15)
+    # Per-interval accounting closes: duration = app + stolen.
+    for att in atts:
+        assert att.app_ns + sum(att.stolen_by_source.values()) == att.duration_ns
+
+
+def test_attribution_separates_syscalls_from_noise():
+    m, tracer = _observed_machine(n=1, kernel="lightweight")
+
+    def prog(ctx):
+        with tracer.app_interval(ctx.node_id, "it"):
+            yield from ctx.compute(10_000)
+            yield from ctx.node.syscall()
+
+    procs = m.launch(prog)
+    m.run_to_completion(procs)
+    att = attribute_intervals(tracer, 0)[0]
+    assert att.syscall_ns == 500  # lightweight kernel syscall cost
+    assert att.noise_ns == 0
+
+
+def test_explain_slow_intervals_names_the_thief():
+    # One big daemon event every 40 ms; 2 ms iterations: some iterations
+    # get hit and stretch far beyond the median.
+    kernel = KernelConfig(
+        name="daemon-heavy", hz=0, tick_cost_ns=0, tick_heavy_cost_ns=0,
+        tick_heavy_probability=0.0,
+        daemons=(DaemonSpec("big-daemon", 40 * MS, 4 * MS),))
+    m = Machine(MachineConfig(n_nodes=1, kernel=kernel, seed=11))
+    tracer = KtauTracer(m)
+    _run_iterations(m, tracer, n_iter=50, work=2 * MS, allreduce=False)
+    atts = attribute_intervals(tracer, 0, "iteration")
+    slow = explain_slow_intervals(atts, threshold=1.5)
+    assert slow, "expected some daemon-struck iterations"
+    assert all(s.thief == "big-daemon" for s in slow)
+    assert slow[0].slowdown_vs_median >= 1.5
+
+
+def test_summarize_empty_attribution_rejected():
+    with pytest.raises(TraceError):
+        summarize_attribution([])
+
+
+# -- ghost hunting --------------------------------------------------------------------------------
+
+def test_candidate_frequencies_from_kernel_and_sources():
+    cands = candidate_frequencies(KernelConfig.commodity_linux(),
+                                  [PeriodicNoise(10 * MS, 250 * US,
+                                                 name="inj")])
+    assert cands["timer-irq"] == 1000.0
+    assert cands["kswapd"] == pytest.approx(1.0)
+    assert cands["inj"] == pytest.approx(100.0)
+
+
+def test_hunt_identifies_injected_periodicity():
+    # Build an FTQ-like series: per-quantum stolen time of a 50 Hz source.
+    src = PeriodicNoise.from_utilization(0.05, 50)
+    quantum = 1 * MS
+    series = [src.stolen_between(i * quantum, (i + 1) * quantum)
+              for i in range(4000)]
+    report = hunt(series, quantum, {"injected-50hz": 50.0, "timer": 1000.0})
+    assert "injected-50hz" in report.identified_sources
+
+
+def test_hunt_reports_unexplained_ghosts():
+    src = PeriodicNoise.from_utilization(0.05, 77)  # nothing matches 77 Hz
+    quantum = 1 * MS
+    series = [src.stolen_between(i * quantum, (i + 1) * quantum)
+              for i in range(4000)]
+    report = hunt(series, quantum, {"timer": 1000.0}, tolerance=0.05)
+    assert report.unexplained, "the 77 Hz line should be unexplained"

@@ -1,0 +1,224 @@
+"""Tests for the measurement microbenchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.errors import ConfigError
+from repro.kernel import KernelConfig, Node
+from repro.microbench import (
+    CollectiveBenchmark,
+    FTQBenchmark,
+    FWQBenchmark,
+    PSNAPBenchmark,
+    SelfishBenchmark,
+)
+from repro.noise import InjectionPlan, PeriodicNoise
+from repro.sim import Environment, MS, SEC, US
+
+
+def _quiet_node():
+    env = Environment()
+    return Node(env, 0, KernelConfig.lightweight())
+
+
+def _noisy_node(pattern="2.5pct@100Hz", seed=0):
+    m = Machine(MachineConfig(n_nodes=1, kernel="lightweight",
+                              injection=InjectionPlan(pattern, seed=seed,
+                                                      alignment="synchronized")))
+    return m.nodes[0]
+
+
+# -- FTQ ----------------------------------------------------------------------
+
+def test_ftq_quiet_machine_is_flat():
+    res = FTQBenchmark(n_quanta=256).run(_quiet_node())
+    assert (res.counts == res.max_count).all()
+    assert res.noise_fraction == 0.0
+    assert (res.missing_work() == 0).all()
+
+
+def test_ftq_detects_injected_utilization():
+    res = FTQBenchmark(n_quanta=2048).run(_noisy_node())
+    assert res.noise_fraction == pytest.approx(0.025, rel=0.05)
+    assert res.counts.min() < res.max_count
+
+
+def test_ftq_spectrum_shows_noise_frequency():
+    from repro.analysis import find_peaks
+    res = FTQBenchmark(n_quanta=4096).run(_noisy_node("2.5pct@10Hz"))
+    peaks = find_peaks(res.spectrum(), top=3)
+    assert peaks, "expected spectral peaks"
+    # Strongest peak at 10 Hz (or a low harmonic).
+    assert any(abs(p.frequency_hz - 10.0) / 10.0 < 0.1 for p in peaks)
+
+
+def test_ftq_parameter_validation():
+    with pytest.raises(ConfigError):
+        FTQBenchmark(quantum_ns=0)
+    with pytest.raises(ConfigError):
+        FTQBenchmark(unit_work_ns=2 * MS, quantum_ns=MS)
+
+
+def test_ftq_process_variant_matches_direct_run():
+    node = _noisy_node()
+    bench = FTQBenchmark(n_quanta=128)
+    direct = bench.run(node, start_time=0)
+    out = {}
+    proc = node.env.process(bench.process(node, out), name="ftq")
+    node.env.run(until=proc)
+    assert (out[0].counts == direct.counts).all()
+
+
+# -- FWQ -----------------------------------------------------------------------
+
+def test_fwq_quiet_machine_exact():
+    res = FWQBenchmark(work_ns=50 * US, n_samples=64).run(_quiet_node())
+    assert (res.samples_ns == 50 * US).all()
+    assert res.noise_fraction == 0.0
+
+
+def test_fwq_detects_noise_events():
+    res = FWQBenchmark(work_ns=100 * US, n_samples=2048).run(_noisy_node())
+    struck = res.struck_samples()
+    assert len(struck) > 0
+    # Detours roughly the injected event size (250 us at 100 Hz).
+    assert res.detour_ns.max() >= 200 * US
+    assert res.noise_fraction == pytest.approx(0.025, rel=0.3)
+
+
+def test_fwq_validation():
+    with pytest.raises(ConfigError):
+        FWQBenchmark(work_ns=0)
+
+
+# -- selfish ----------------------------------------------------------------------
+
+def test_selfish_detects_individual_events():
+    node = _noisy_node("2.5pct@10Hz")  # 2.5 ms every 100 ms
+    res = SelfishBenchmark(window_ns=1 * SEC).run(node, start_time=0)
+    assert res.count == 10
+    assert (res.durations_ns() == 2500 * US).all()
+    assert res.detour_fraction == pytest.approx(0.025, rel=0.01)
+    gaps = res.inter_arrival_ns()
+    assert np.allclose(gaps, 100 * MS)
+
+
+def test_selfish_threshold_hides_small_events():
+    env = Environment()
+    node = Node(env, 0, KernelConfig.lightweight(),
+                injected=[PeriodicNoise(1 * MS, 500, name="tiny")])
+    res = SelfishBenchmark(window_ns=100 * MS, threshold_ns=1 * US).run(node)
+    assert res.count == 0
+    res2 = SelfishBenchmark(window_ns=100 * MS, threshold_ns=0).run(node)
+    assert res2.count == 100
+
+
+def test_selfish_quiet_is_silent():
+    res = SelfishBenchmark(window_ns=SEC).run(_quiet_node())
+    assert res.count == 0
+    assert res.detour_fraction == 0.0
+
+
+# -- PSNAP ------------------------------------------------------------------------------
+
+def test_psnap_census_across_machine():
+    m = Machine(MachineConfig(n_nodes=8, kernel="tuned-linux", seed=4))
+    res = PSNAPBenchmark(n_samples=256).run(m)
+    assert res.n_nodes == 8
+    fracs = res.node_noise_fractions()
+    assert all(0 < f < 0.05 for f in fracs.values())
+    worst = res.noisiest_nodes(3)
+    assert len(worst) == 3
+    assert worst[0][1] >= worst[1][1] >= worst[2][1]
+    assert res.imbalance_ratio() >= 1.0
+
+
+def test_psnap_quiet_machine_uniform():
+    m = Machine(MachineConfig(n_nodes=4, kernel="lightweight"))
+    res = PSNAPBenchmark(n_samples=64).run(m)
+    assert res.machine_stats().maximum == 0.0
+
+
+# -- collective benchmark -------------------------------------------------------------------
+
+def test_collective_bench_quiet_latency_reasonable():
+    m = Machine(MachineConfig(n_nodes=8, kernel="lightweight"))
+    res = CollectiveBenchmark("allreduce", repetitions=10).run(m)
+    assert res.n_nodes == 8
+    assert len(res.times_ns) == 10
+    L = m.mpi.network.params.L
+    # 3 rounds of recursive doubling, each at least one wire latency.
+    assert res.mean_ns >= 3 * L
+    # Quiet machine: every repetition identical (deterministic).
+    assert res.times_ns.std() == 0
+
+
+def test_collective_bench_noise_adds_variance_and_latency():
+    def mean_time(injection):
+        m = Machine(MachineConfig(n_nodes=16, kernel="lightweight",
+                                  injection=injection, seed=5))
+        return CollectiveBenchmark("allreduce", repetitions=30).run(m)
+
+    quiet = mean_time(None)
+    noisy = mean_time(InjectionPlan("2.5pct@1000Hz", seed=5))
+    assert noisy.mean_ns > quiet.mean_ns
+    assert noisy.times_ns.std() > 0
+
+
+def test_collective_bench_all_operations_run():
+    for op in ("barrier", "bcast", "allgather", "alltoall"):
+        m = Machine(MachineConfig(n_nodes=5, kernel="lightweight"))
+        res = CollectiveBenchmark(op, repetitions=3).run(m)
+        assert (res.times_ns > 0).all(), op
+
+
+def test_collective_bench_validation():
+    with pytest.raises(ConfigError):
+        CollectiveBenchmark("reduce-scatter")
+    with pytest.raises(ConfigError):
+        CollectiveBenchmark(repetitions=0)
+
+
+# -- ping-pong -------------------------------------------------------------------
+
+def test_pingpong_quiet_machine_flat():
+    from repro.microbench import PingPongBenchmark
+    m = Machine(MachineConfig(n_nodes=2, kernel="lightweight"))
+    res = PingPongBenchmark(repetitions=50).run(m)
+    assert res.rtt_ns.std() == 0
+    assert res.tail_ratio == pytest.approx(1.0)
+    assert len(res.struck_round_trips()) == 0
+
+
+def test_pingpong_noise_shows_in_the_tail():
+    from repro.microbench import PingPongBenchmark
+    m = Machine(MachineConfig(
+        n_nodes=2, kernel="lightweight",
+        injection=InjectionPlan("2.5pct@100Hz", seed=4), seed=4))
+    # Long enough that >1% of round trips are struck (the 250 us events
+    # at 100 Hz on two endpoints blanket a few RTTs each).
+    res = PingPongBenchmark(repetitions=4000, gap_ns=100_000).run(m)
+    assert res.tail_ratio > 1.5
+    struck = res.struck_round_trips()
+    assert len(struck) > 40
+    # Struck RTTs carry roughly the injected event size (250 us).
+    assert res.rtt_ns.max() >= res.median_ns + 150 * US
+
+
+def test_pingpong_validation():
+    from repro.microbench import PingPongBenchmark
+    with pytest.raises(ConfigError):
+        PingPongBenchmark(repetitions=0)
+    m = Machine(MachineConfig(n_nodes=2))
+    with pytest.raises(ConfigError):
+        PingPongBenchmark().run(m, src=1, dst=1)
+
+
+def test_pingpong_median_reflects_network_preset():
+    from repro.microbench import PingPongBenchmark
+    fast = Machine(MachineConfig(n_nodes=2, network="seastar"))
+    slow = Machine(MachineConfig(n_nodes=2, network="gige"))
+    r_fast = PingPongBenchmark(repetitions=20).run(fast)
+    r_slow = PingPongBenchmark(repetitions=20).run(slow)
+    assert r_slow.median_ns > 3 * r_fast.median_ns

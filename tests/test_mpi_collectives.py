@@ -1,0 +1,252 @@
+"""Correctness tests for every collective algorithm, across shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.errors import MPIError
+from repro.mpi import collectives
+
+SIZES = [1, 2, 3, 5, 8, 13, 16]
+
+
+def _run_collective(n_nodes, program, **machine_kw):
+    m = Machine(MachineConfig(n_nodes=n_nodes, **machine_kw))
+    procs = m.launch(program)
+    m.run_to_completion(procs)
+    return [p.value for p in procs], m
+
+
+# -- barrier ------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["dissemination", "linear"])
+@pytest.mark.parametrize("P", SIZES)
+def test_barrier_synchronizes(alg, P):
+    def prog(ctx):
+        # Stagger arrivals so the barrier has real work to do.
+        yield from ctx.compute(1000 * (ctx.rank + 1))
+        yield from ctx.barrier(algorithm=alg)
+        return ctx.env.now
+
+    exits, _ = _run_collective(P, prog)
+    # Nobody exits before the slowest rank arrived.
+    assert min(exits) >= 1000 * P
+
+
+# -- bcast ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["binomial", "linear"])
+@pytest.mark.parametrize("P", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_to_all(alg, P, root):
+    root = P - 1 if root == "last" else 0
+
+    def prog(ctx):
+        data = "payload" if ctx.rank == root else None
+        return (yield from ctx.bcast(size=128, root=root, payload=data,
+                                     algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    assert values == ["payload"] * P
+
+
+# -- reduce ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["binomial", "linear"])
+@pytest.mark.parametrize("P", SIZES)
+def test_reduce_sums_to_root(alg, P):
+    def prog(ctx):
+        return (yield from ctx.reduce(size=8, root=0, payload=ctx.rank + 1,
+                                      algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    assert values[0] == P * (P + 1) // 2
+    assert all(v is None for v in values[1:])
+
+
+def test_reduce_custom_op():
+    def prog(ctx):
+        return (yield from ctx.reduce(size=8, root=0, payload=ctx.rank + 1,
+                                      op=max))
+
+    values, _ = _run_collective(6, prog)
+    assert values[0] == 6
+
+
+# -- allreduce ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["recursive-doubling", "reduce-bcast", "ring"])
+@pytest.mark.parametrize("P", SIZES)
+def test_allreduce_all_get_sum(alg, P):
+    def prog(ctx):
+        return (yield from ctx.allreduce(size=64, payload=ctx.rank + 1,
+                                         algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    assert values == [P * (P + 1) // 2] * P
+
+
+def test_allreduce_ring_numpy_exact():
+    P = 7
+
+    def prog(ctx):
+        x = np.arange(10, dtype=float) * (ctx.rank + 1)
+        return (yield from ctx.allreduce(size=80, payload=x, algorithm="ring"))
+
+    values, _ = _run_collective(P, prog)
+    expected = np.arange(10, dtype=float) * (P * (P + 1) // 2)
+    for v in values:
+        assert np.allclose(v, expected)
+
+
+def test_allreduce_numpy_recursive_doubling():
+    P = 6
+
+    def prog(ctx):
+        x = np.ones(4) * (ctx.rank + 1)
+        return (yield from ctx.allreduce(size=32, payload=x))
+
+    values, _ = _run_collective(P, prog)
+    for v in values:
+        assert np.allclose(v, 21.0)
+
+
+def test_allreduce_timing_grows_with_p():
+    def timed(P):
+        def prog(ctx):
+            yield from ctx.allreduce(size=8)
+            return ctx.env.now
+
+        exits, _ = _run_collective(P, prog)
+        return max(exits)
+
+    assert timed(4) < timed(16) < timed(64)
+
+
+# -- gather / scatter ------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["binomial", "linear"])
+@pytest.mark.parametrize("P", SIZES)
+def test_gather_rank_order(alg, P):
+    def prog(ctx):
+        return (yield from ctx.gather(size=16, root=0, payload=ctx.rank * 7,
+                                      algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    assert values[0] == [r * 7 for r in range(P)]
+    assert all(v is None for v in values[1:])
+
+
+@pytest.mark.parametrize("alg", ["binomial", "linear"])
+@pytest.mark.parametrize("P", SIZES)
+@pytest.mark.parametrize("root", [0, "mid"])
+def test_scatter_each_gets_own_block(alg, P, root):
+    root = P // 2 if root == "mid" else 0
+
+    def prog(ctx):
+        payloads = ([f"block{i}" for i in range(ctx.size)]
+                    if ctx.rank == root else None)
+        return (yield from ctx.scatter(size=16, root=root, payloads=payloads,
+                                       algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    assert values == [f"block{r}" for r in range(P)]
+
+
+def test_scatter_payload_length_checked():
+    def prog(ctx):
+        return (yield from ctx.scatter(size=8, root=0, payloads=[1, 2, 3]))
+
+    m = Machine(MachineConfig(n_nodes=4))
+    m.launch(prog)
+    with pytest.raises(MPIError):
+        m.run()
+
+
+# -- allgather -----------------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["ring", "gather-bcast"])
+@pytest.mark.parametrize("P", SIZES)
+def test_allgather_everyone_gets_all(alg, P):
+    def prog(ctx):
+        return (yield from ctx.allgather(size=16, payload=ctx.rank + 50,
+                                         algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    expected = [r + 50 for r in range(P)]
+    assert values == [expected] * P
+
+
+# -- alltoall ---------------------------------------------------------------------------------
+
+@pytest.mark.parametrize("alg", ["pairwise", "linear"])
+@pytest.mark.parametrize("P", SIZES)
+def test_alltoall_personalized(alg, P):
+    def prog(ctx):
+        outbound = [ctx.rank * 100 + dst for dst in range(ctx.size)]
+        return (yield from ctx.alltoall(size=16, payloads=outbound,
+                                        algorithm=alg))
+
+    values, _ = _run_collective(P, prog)
+    for r, got in enumerate(values):
+        assert got == [src * 100 + r for src in range(P)]
+
+
+def test_alltoall_payload_length_checked():
+    def prog(ctx):
+        return (yield from ctx.alltoall(size=8, payloads=[1]))
+
+    m = Machine(MachineConfig(n_nodes=4))
+    m.launch(prog)
+    with pytest.raises(MPIError):
+        m.run()
+
+
+# -- registry / dispatch ----------------------------------------------------------------------
+
+def test_registry_lists_algorithms():
+    assert "recursive-doubling" in collectives.algorithms_for("allreduce")
+    assert "ring" in collectives.algorithms_for("allreduce")
+    with pytest.raises(MPIError):
+        collectives.algorithms_for("transmogrify")
+
+
+def test_unknown_algorithm_rejected():
+    def prog(ctx):
+        return (yield from ctx.allreduce(size=8, algorithm="quantum"))
+
+    m = Machine(MachineConfig(n_nodes=2))
+    m.launch(prog)
+    with pytest.raises(MPIError):
+        m.run()
+
+
+def test_back_to_back_collectives_do_not_cross():
+    """Consecutive collectives on one comm use distinct tag blocks."""
+    P = 8
+
+    def prog(ctx):
+        results = []
+        for i in range(5):
+            results.append((yield from ctx.allreduce(size=8, payload=i + ctx.rank)))
+        yield from ctx.barrier()
+        results.append((yield from ctx.bcast(size=8, root=0,
+                                             payload=("x" if ctx.rank == 0 else None))))
+        return results
+
+    values, _ = _run_collective(P, prog)
+    base = sum(range(P))
+    for got in values:
+        assert got == [base + i * P for i in range(5)] + ["x"]
+
+
+def test_collectives_on_subcommunicator():
+    m = Machine(MachineConfig(n_nodes=6))
+    comm = m.mpi.create_comm([1, 3, 5])
+
+    def prog(ctx):
+        return (yield from ctx.allreduce(size=8, payload=ctx.rank))
+
+    procs = m.launch(prog, comm=comm)
+    m.run_to_completion(procs)
+    assert [p.value for p in procs] == [3, 3, 3]

@@ -1,0 +1,178 @@
+"""Tests for burst, trace-playback, and composite noise sources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noise import (
+    BurstNoise,
+    CompositeNoise,
+    NoiseEvent,
+    PeriodicNoise,
+    TraceNoise,
+    merge_busy_time,
+    merged_intervals,
+)
+
+
+# -- interval merging -------------------------------------------------------
+
+def test_merged_intervals_disjoint():
+    evs = [NoiseEvent(0, 10, "a"), NoiseEvent(20, 5, "b")]
+    assert merged_intervals(evs, 0, 100) == [(0, 10), (20, 25)]
+
+
+def test_merged_intervals_overlap_collapses():
+    evs = [NoiseEvent(0, 10, "a"), NoiseEvent(5, 10, "b")]
+    assert merged_intervals(evs, 0, 100) == [(0, 15)]
+    assert merge_busy_time(evs, 0, 100) == 15
+
+
+def test_merged_intervals_clipping():
+    evs = [NoiseEvent(0, 10, "a"), NoiseEvent(90, 20, "b")]
+    assert merged_intervals(evs, 5, 100) == [(5, 10), (90, 100)]
+
+
+def test_merged_intervals_adjacent_join():
+    evs = [NoiseEvent(0, 10, "a"), NoiseEvent(10, 10, "b")]
+    assert merged_intervals(evs, 0, 100) == [(0, 20)]
+
+
+# -- burst noise --------------------------------------------------------------
+
+def test_burst_event_layout():
+    n = BurstNoise(period=1000, duration=10, burst_count=3, burst_gap=5)
+    starts = [e.start for e in n.events_in(0, 2000)]
+    assert starts == [0, 15, 30, 1000, 1015, 1030]
+
+
+def test_burst_utilization():
+    n = BurstNoise(period=1000, duration=10, burst_count=3, burst_gap=5)
+    assert n.utilization == pytest.approx(0.03)
+    assert n.stolen_between(0, 10_000) == 300
+
+
+def test_burst_train_must_fit():
+    with pytest.raises(ConfigError):
+        BurstNoise(period=100, duration=30, burst_count=3, burst_gap=10)
+
+
+def test_burst_single_slice_equals_periodic():
+    b = BurstNoise(period=1000, duration=10, burst_count=1, burst_gap=0)
+    p = PeriodicNoise(1000, 10)
+    assert ([e.start for e in b.events_in(0, 10_000)]
+            == [e.start for e in p.events_in(0, 10_000)])
+    assert b.stolen_between(3, 9_997) == p.stolen_between(3, 9_997)
+
+
+def test_burst_straddles_window_start():
+    n = BurstNoise(period=1000, duration=10, burst_count=3, burst_gap=5)
+    # Event at t=30 runs to 40; stolen in [35, 50) must count 5 ns.
+    assert n.stolen_between(35, 50) == 5
+
+
+# -- trace playback -------------------------------------------------------------
+
+def test_trace_single_pass():
+    n = TraceNoise([(10, 5), (100, 20)])
+    assert [e.start for e in n.events_in(0, 1000)] == [10, 100]
+    assert n.stolen_between(0, 1000) == 25
+
+
+def test_trace_sorts_input():
+    n = TraceNoise([(100, 20), (10, 5)])
+    assert [e.start for e in n.events_in(0, 1000)] == [10, 100]
+
+
+def test_trace_repeat_tiles_time():
+    n = TraceNoise([(10, 5)], repeat_every=100)
+    assert [e.start for e in n.events_in(0, 350)] == [10, 110, 210, 310]
+    assert n.utilization == pytest.approx(0.05)
+
+
+def test_trace_repeat_must_cover():
+    with pytest.raises(ConfigError):
+        TraceNoise([(10, 50)], repeat_every=40)
+
+
+def test_trace_rejects_empty_and_bad_events():
+    with pytest.raises(ConfigError):
+        TraceNoise([])
+    with pytest.raises(ConfigError):
+        TraceNoise([(-1, 5)])
+    with pytest.raises(ConfigError):
+        TraceNoise([(0, 0)])
+
+
+def test_trace_roundtrip_from_noise_events():
+    src = PeriodicNoise(100, 7)
+    recorded = src.events_in(0, 1000)
+    replay = TraceNoise(recorded, repeat_every=1000)
+    assert replay.events_in(0, 1000) == [
+        NoiseEvent(e.start, e.duration, "trace") for e in recorded]
+    assert replay.stolen_between(0, 1000) == src.stolen_between(0, 1000)
+
+
+# -- composite ---------------------------------------------------------------------
+
+def test_composite_merges_events_in_order():
+    a = PeriodicNoise(100, 5, name="a")
+    b = PeriodicNoise(100, 5, phase=50, name="b")
+    c = CompositeNoise([a, b])
+    starts = [(e.start, e.source) for e in c.events_in(0, 200)]
+    assert starts == [(0, "a"), (50, "b"), (100, "a"), (150, "b")]
+
+
+def test_composite_overlap_not_double_counted():
+    a = PeriodicNoise(100, 10, name="a")
+    b = PeriodicNoise(100, 10, name="b")  # exactly overlapping
+    c = CompositeNoise([a, b])
+    assert c.stolen_between(0, 1000) == 100  # not 200
+
+
+def test_composite_duplicate_names_rejected():
+    a = PeriodicNoise(100, 5)
+    b = PeriodicNoise(200, 5)
+    with pytest.raises(ConfigError):
+        CompositeNoise([a, b])  # both named "periodic"
+
+
+def test_composite_total_utilization_guard():
+    a = PeriodicNoise(100, 60, name="a")
+    b = PeriodicNoise(100, 60, name="b")
+    with pytest.raises(ConfigError):
+        CompositeNoise([a, b])
+
+
+def test_composite_flattens_nested():
+    a = PeriodicNoise(100, 5, name="a")
+    b = PeriodicNoise(100, 5, phase=50, name="b")
+    c = PeriodicNoise(1000, 5, phase=20, name="c")
+    nested = CompositeNoise([CompositeNoise([a, b]), c])
+    assert [s.name for s in nested.sources] == ["a", "b", "c"]
+
+
+def test_composite_wall_time_fixed_point():
+    a = PeriodicNoise(100, 10, name="a")
+    b = PeriodicNoise(333, 7, phase=13, name="b")
+    c = CompositeNoise([a, b])
+    for work in (0, 1, 50, 1234, 98_765):
+        t = c.wall_time(5, work)
+        assert t - c.stolen_between(5, 5 + t) == work
+
+
+@given(p1=st.integers(50, 500), d1=st.integers(1, 20),
+       p2=st.integers(50, 500), d2=st.integers(1, 20),
+       ph2=st.integers(0, 500),
+       start=st.integers(0, 10_000), work=st.integers(0, 5_000))
+@settings(max_examples=100)
+def test_property_composite_fixed_point(p1, d1, p2, d2, ph2, start, work):
+    a = PeriodicNoise(p1, min(d1, p1 - 1), name="a")
+    b = PeriodicNoise(p2, min(d2, p2 - 1), phase=ph2, name="b")
+    if a.utilization + b.utilization >= 1:
+        return
+    c = CompositeNoise([a, b])
+    t = c.wall_time(start, work)
+    assert t >= work
+    assert t - c.stolen_between(start, start + t) == work

@@ -1,0 +1,157 @@
+"""Tests for pattern parsing and injection plans."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.noise import (
+    CANONICAL_SWEEP,
+    InjectionPlan,
+    NullNoise,
+    PeriodicNoise,
+    PoissonNoise,
+    canonical_patterns,
+    parse_pattern,
+    pattern_names,
+)
+from repro.sim import MS, US
+
+
+def test_parse_quiet_variants():
+    for spec in ("quiet", "none", "off", "Quiet", " quiet "):
+        assert isinstance(parse_pattern(spec), NullNoise)
+
+
+def test_parse_periodic_pattern():
+    n = parse_pattern("2.5pct@100Hz")
+    assert isinstance(n, PeriodicNoise)
+    assert n.period == 10 * MS
+    assert n.duration == 250 * US
+    assert n.utilization == pytest.approx(0.025)
+
+
+def test_parse_is_case_insensitive():
+    n = parse_pattern("2.5PCT@100HZ")
+    assert isinstance(n, PeriodicNoise)
+
+
+def test_parse_poisson_pattern():
+    n = parse_pattern("1pct@10HzPoisson", seed=5)
+    assert isinstance(n, PoissonNoise)
+    assert n.rate_hz == 10
+    assert n.mean_duration == 1 * MS
+    assert n.utilization == pytest.approx(0.01)
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "2.5pct", "100Hz", "2.5pct@", "pct@100Hz", "-1pct@10Hz",
+                "200pct@10Hz", "2.5pct@0Hz"):
+        with pytest.raises(ConfigError):
+            parse_pattern(bad)
+
+
+def test_canonical_sweep_is_fixed_utilization():
+    for spec in CANONICAL_SWEEP:
+        assert parse_pattern(spec).utilization == pytest.approx(0.025)
+
+
+def test_pattern_names_order():
+    assert pattern_names() == ["quiet", "2.5pct@10Hz", "2.5pct@100Hz",
+                               "2.5pct@1000Hz"]
+
+
+def test_canonical_patterns_instantiates_all():
+    pats = canonical_patterns()
+    assert set(pats) == set(pattern_names())
+
+
+# -- injection plans ----------------------------------------------------------
+
+def test_synchronized_plan_gives_phase_zero_everywhere():
+    plan = InjectionPlan("2.5pct@10Hz", alignment="synchronized", seed=3)
+    sources = plan.sources(8)
+    assert all(isinstance(s, PeriodicNoise) and s.phase == 0 for s in sources)
+
+
+def test_random_plan_gives_distinct_phases():
+    plan = InjectionPlan("2.5pct@10Hz", alignment="random", seed=3)
+    phases = [s.phase for s in plan.sources(16)]
+    assert len(set(phases)) > 1
+    assert all(0 <= p < 100 * MS for p in phases)
+
+
+def test_random_plan_is_deterministic_in_seed():
+    a = [s.phase for s in InjectionPlan("2.5pct@10Hz", seed=3).sources(8)]
+    b = [s.phase for s in InjectionPlan("2.5pct@10Hz", seed=3).sources(8)]
+    c = [s.phase for s in InjectionPlan("2.5pct@10Hz", seed=4).sources(8)]
+    assert a == b
+    assert a != c
+
+
+def test_staggered_plan_spreads_evenly():
+    plan = InjectionPlan("2.5pct@10Hz", alignment="staggered", seed=0)
+    phases = [s.phase for s in plan.sources(4)]
+    assert phases == [0, 25 * MS, 50 * MS, 75 * MS]
+
+
+def test_quiet_plan_gives_null_sources():
+    plan = InjectionPlan("quiet")
+    assert all(isinstance(s, NullNoise) for s in plan.sources(4))
+
+
+def test_poisson_plan_sources_are_independent():
+    plan = InjectionPlan("1pct@100HzPoisson", alignment="random", seed=9)
+    a, b = plan.sources(2)
+    assert a.events_in(0, 10 * MS * 100) != b.events_in(0, 10 * MS * 100)
+
+
+def test_poisson_synchronized_rejected():
+    plan = InjectionPlan("1pct@100HzPoisson", alignment="synchronized")
+    with pytest.raises(ConfigError):
+        plan.sources(2)
+
+
+def test_invalid_alignment_rejected():
+    with pytest.raises(ConfigError):
+        InjectionPlan("quiet", alignment="sideways")
+
+
+def test_node_id_bounds_checked():
+    plan = InjectionPlan("quiet")
+    with pytest.raises(ConfigError):
+        plan.source_for(5, 4)
+    with pytest.raises(ConfigError):
+        plan.sources(0)
+
+
+def test_custom_factory_plan():
+    def factory(node_id, phase, seed):
+        return PeriodicNoise(1000 + node_id, 10, name=f"custom{node_id}")
+
+    plan = InjectionPlan(factory)
+    sources = plan.sources(3)
+    assert [s.period for s in sources] == [1000, 1001, 1002]
+
+
+def test_parse_burst_pattern():
+    from repro.noise import BurstNoise
+    n = parse_pattern("2.5pct@10Hzburst5")
+    assert isinstance(n, BurstNoise)
+    assert n.burst_count == 5
+    assert n.utilization == pytest.approx(0.025)
+    # Same net utilization as the plain periodic pattern.
+    assert n.stolen_between(0, 10 * 100 * MS) == pytest.approx(
+        parse_pattern("2.5pct@10Hz").stolen_between(0, 10 * 100 * MS),
+        rel=0.01)
+
+
+def test_burst_pattern_rejects_bad_counts():
+    with pytest.raises(ConfigError):
+        parse_pattern("0.0001pct@10000Hzburst9999")  # 0-ns slices
+
+
+def test_burst_plan_alignment_supported():
+    plan = InjectionPlan("2.5pct@10Hzburst4", alignment="synchronized")
+    sources = plan.sources(4)
+    assert all(s.phase == 0 for s in sources)
+    plan_r = InjectionPlan("2.5pct@10Hzburst4", alignment="random", seed=2)
+    assert len({s.phase for s in plan_r.sources(8)}) > 1

@@ -1,0 +1,185 @@
+"""Unit + property tests for PeriodicNoise and the NoiseSource contract."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noise import NoiseEvent, NullNoise, PeriodicNoise
+from repro.sim import MS, US
+
+
+def test_basic_event_enumeration():
+    n = PeriodicNoise(100, 10)
+    assert n.events_in(0, 300) == [
+        NoiseEvent(0, 10, "periodic"),
+        NoiseEvent(100, 10, "periodic"),
+        NoiseEvent(200, 10, "periodic"),
+    ]
+
+
+def test_phase_shifts_events():
+    n = PeriodicNoise(100, 10, phase=30)
+    assert [e.start for e in n.events_in(0, 300)] == [30, 130, 230]
+
+
+def test_negative_phase_ok():
+    n = PeriodicNoise(100, 10, phase=-70)
+    assert [e.start for e in n.events_in(0, 300)] == [30, 130, 230]
+
+
+def test_events_window_half_open():
+    n = PeriodicNoise(100, 10)
+    assert [e.start for e in n.events_in(100, 200)] == [100]
+    assert [e.start for e in n.events_in(101, 200)] == []
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ConfigError):
+        PeriodicNoise(0, 10)
+    with pytest.raises(ConfigError):
+        PeriodicNoise(100, 0)
+    with pytest.raises(ConfigError):
+        PeriodicNoise(100, 100)  # utilization == 1
+
+
+def test_from_frequency():
+    n = PeriodicNoise.from_frequency(100, 250 * US)
+    assert n.period == 10 * MS
+    assert n.frequency_hz == pytest.approx(100.0)
+
+
+def test_from_utilization_canonical_patterns():
+    for hz, dur in [(10, 2_500 * US), (100, 250 * US), (1000, 25 * US)]:
+        n = PeriodicNoise.from_utilization(0.025, hz)
+        assert n.duration == dur
+        assert n.utilization == pytest.approx(0.025)
+
+
+def test_from_utilization_bounds():
+    with pytest.raises(ConfigError):
+        PeriodicNoise.from_utilization(0.0, 100)
+    with pytest.raises(ConfigError):
+        PeriodicNoise.from_utilization(1.0, 100)
+
+
+def test_stolen_between_full_window():
+    n = PeriodicNoise(100, 10)
+    assert n.stolen_between(0, 1000) == 100
+
+
+def test_stolen_between_head_truncation():
+    n = PeriodicNoise(100, 10)
+    # Event [0,10) overlaps window [5, 50) by 5 ns.
+    assert n.stolen_between(5, 50) == 5
+
+
+def test_stolen_between_tail_truncation():
+    n = PeriodicNoise(100, 10)
+    # Event at 100 truncated by window end 105.
+    assert n.stolen_between(50, 105) == 5
+
+
+def test_stolen_between_empty_window():
+    n = PeriodicNoise(100, 10)
+    assert n.stolen_between(50, 50) == 0
+    assert n.stolen_between(60, 50) == 0
+
+
+def test_wall_time_simple_inflation():
+    # 10% utilization: 900 ns of work takes 1000 ns wall starting at 0.
+    n = PeriodicNoise(100, 10)
+    assert n.wall_time(0, 900) == 1000
+
+
+def test_wall_time_zero_work():
+    n = PeriodicNoise(100, 10)
+    assert n.wall_time(0, 0) == 0
+
+
+def test_wall_time_negative_work_rejected():
+    with pytest.raises(ValueError):
+        PeriodicNoise(100, 10).wall_time(0, -1)
+
+
+def test_wall_time_work_between_events_not_inflated():
+    n = PeriodicNoise(1000, 10)
+    # Start just after the event at t=0; 980 ns of work finishes at 990,
+    # before the next event at 1000.
+    assert n.wall_time(10, 980) == 980
+
+
+def test_null_noise_is_free():
+    n = NullNoise()
+    assert n.wall_time(123, 456) == 456
+    assert n.stolen_between(0, 10**12) == 0
+    assert n.events_in(0, 10**12) == []
+    assert n.utilization == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the NoiseSource contract.
+# ---------------------------------------------------------------------------
+
+periodic_sources = st.builds(
+    PeriodicNoise,
+    period=st.integers(min_value=10, max_value=10_000),
+    duration=st.integers(min_value=1, max_value=9),
+    phase=st.integers(min_value=-10_000, max_value=10_000),
+)
+
+
+@given(n=periodic_sources,
+       start=st.integers(min_value=0, max_value=100_000),
+       span=st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=200)
+def test_property_stolen_matches_event_view(n, start, span):
+    """Closed-form stolen_between equals the merged event view."""
+    from repro.noise import merge_busy_time
+    end = start + span
+    widened = start - n.max_event_duration()
+    expected = merge_busy_time(n.events_in(widened, end), start, end)
+    assert n.stolen_between(start, end) == expected
+
+
+@given(n=periodic_sources,
+       start=st.integers(min_value=0, max_value=100_000),
+       a=st.integers(min_value=0, max_value=30_000),
+       b=st.integers(min_value=0, max_value=30_000))
+@settings(max_examples=200)
+def test_property_stolen_is_additive(n, start, a, b):
+    """stolen[s,m) + stolen[m,e) == stolen[s,e)."""
+    mid = start + a
+    end = mid + b
+    assert (n.stolen_between(start, mid) + n.stolen_between(mid, end)
+            == n.stolen_between(start, end))
+
+
+@given(n=periodic_sources,
+       start=st.integers(min_value=0, max_value=100_000),
+       work=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=200)
+def test_property_wall_time_fixed_point(n, start, work):
+    """wall_time returns the exact fixed point and never loses work."""
+    t = n.wall_time(start, work)
+    assert t >= work
+    assert t - n.stolen_between(start, start + t) == work
+
+
+@given(n=periodic_sources,
+       start=st.integers(min_value=0, max_value=100_000),
+       w1=st.integers(min_value=0, max_value=50_000),
+       w2=st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=100)
+def test_property_wall_time_monotone_in_work(n, start, w1, w2):
+    lo, hi = sorted((w1, w2))
+    assert n.wall_time(start, lo) <= n.wall_time(start, hi)
+
+
+@given(n=periodic_sources,
+       start=st.integers(min_value=0, max_value=100_000),
+       span=st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=100)
+def test_property_stolen_bounded_by_window(n, start, span):
+    stolen = n.stolen_between(start, start + span)
+    assert 0 <= stolen <= span

@@ -1,0 +1,123 @@
+"""Tests for stochastic noise sources (Poisson, Bernoulli tick)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noise import BernoulliTickNoise, PoissonNoise
+from repro.sim import MS, SEC, US
+
+
+def test_poisson_rate_is_respected():
+    n = PoissonNoise(1000, 10 * US, seed=1)
+    events = n.events_in(0, 10 * SEC)
+    # 10k expected; Poisson sd = 100, allow 5 sigma.
+    assert 9_500 <= len(events) <= 10_500
+
+
+def test_poisson_determinism_same_seed():
+    a = PoissonNoise(500, 20 * US, seed=7)
+    b = PoissonNoise(500, 20 * US, seed=7)
+    assert a.events_in(0, SEC) == b.events_in(0, SEC)
+
+
+def test_poisson_different_seeds_differ():
+    a = PoissonNoise(500, 20 * US, seed=7)
+    b = PoissonNoise(500, 20 * US, seed=8)
+    assert a.events_in(0, SEC) != b.events_in(0, SEC)
+
+
+def test_poisson_window_stability():
+    """Sub-window queries agree with the superset query."""
+    n = PoissonNoise(2000, 5 * US, seed=3)
+    full = n.events_in(0, SEC)
+    lo, hi = 123_456_789, 456_789_123
+    sub = n.events_in(lo, hi)
+    assert sub == [e for e in full if lo <= e.start < hi]
+
+
+def test_poisson_exponential_durations_capped():
+    n = PoissonNoise(1000, 10 * US, seed=5, duration_dist="exponential",
+                     max_duration=50 * US)
+    events = n.events_in(0, SEC)
+    assert events, "expected some events"
+    assert all(1 <= e.duration <= 50 * US for e in events)
+    assert len({e.duration for e in events}) > 1, "durations should vary"
+
+
+def test_poisson_invalid_params():
+    with pytest.raises(ConfigError):
+        PoissonNoise(0, 10)
+    with pytest.raises(ConfigError):
+        PoissonNoise(100, 0)
+    with pytest.raises(ConfigError):
+        PoissonNoise(100, 10, duration_dist="weibull")
+    with pytest.raises(ConfigError):
+        PoissonNoise(1e9, 10)  # utilization >= 1
+
+
+def test_poisson_empirical_utilization():
+    n = PoissonNoise(100, 100 * US, seed=11)  # 1% nominal
+    stolen = n.stolen_between(0, 10 * SEC)
+    assert stolen / (10 * SEC) == pytest.approx(0.01, rel=0.3)
+
+
+def test_bernoulli_tick_grid_alignment():
+    n = BernoulliTickNoise(MS, 1 * US, 100 * US, 0.5, seed=2)
+    events = n.events_in(0, 100 * MS)
+    assert len(events) == 100
+    assert all(e.start % MS == 0 for e in events)
+
+
+def test_bernoulli_tick_heavy_mix():
+    n = BernoulliTickNoise(MS, 1 * US, 100 * US, 0.3, seed=2)
+    events = n.events_in(0, SEC)
+    heavy = sum(1 for e in events if e.duration == 100 * US)
+    assert 200 <= heavy <= 400  # ~300 expected of 1000
+
+
+def test_bernoulli_tick_probability_extremes():
+    all_heavy = BernoulliTickNoise(MS, 1 * US, 100 * US, 1.0, seed=2)
+    assert all(e.duration == 100 * US for e in all_heavy.events_in(0, 50 * MS))
+    none_heavy = BernoulliTickNoise(MS, 1 * US, 100 * US, 0.0, seed=2)
+    assert all(e.duration == 1 * US for e in none_heavy.events_in(0, 50 * MS))
+
+
+def test_bernoulli_tick_utilization_formula():
+    n = BernoulliTickNoise(MS, 1 * US, 101 * US, 0.25, seed=2)
+    assert n.utilization == pytest.approx((0.75 * 1 + 0.25 * 101) / 1000)
+
+
+def test_bernoulli_invalid_params():
+    with pytest.raises(ConfigError):
+        BernoulliTickNoise(0, 1, 10, 0.5)
+    with pytest.raises(ConfigError):
+        BernoulliTickNoise(MS, 1, 10, 1.5)
+    with pytest.raises(ConfigError):
+        BernoulliTickNoise(MS, 100, 10, 0.5)  # heavy < base
+    with pytest.raises(ConfigError):
+        BernoulliTickNoise(MS, 1, MS, 0.5)  # heavy >= period
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       start=st.integers(min_value=0, max_value=10 * SEC),
+       span=st.integers(min_value=0, max_value=50 * MS))
+@settings(max_examples=50, deadline=None)
+def test_property_poisson_wall_time_fixed_point(seed, start, span):
+    n = PoissonNoise(300, 50 * US, seed=seed)
+    t = n.wall_time(start, span)
+    assert t >= span
+    assert t - n.stolen_between(start, start + t) == span
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       start=st.integers(min_value=0, max_value=10 * SEC),
+       a=st.integers(min_value=0, max_value=20 * MS),
+       b=st.integers(min_value=0, max_value=20 * MS))
+@settings(max_examples=50, deadline=None)
+def test_property_poisson_stolen_additive(seed, start, a, b):
+    n = PoissonNoise(300, 50 * US, seed=seed)
+    mid, end = start + a, start + a + b
+    assert (n.stolen_between(start, mid) + n.stolen_between(mid, end)
+            == n.stolen_between(start, end))

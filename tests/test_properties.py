@@ -1,0 +1,193 @@
+"""System-level property tests (hypothesis).
+
+These check invariants that unit tests can't pin down exhaustively:
+random communication schedules always complete and preserve pairwise
+order; every allreduce algorithm computes the same value; whole-machine
+runs are bit-deterministic; trace capture/replay is lossless.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExperimentConfig, Machine, MachineConfig, run_experiment
+from repro.mpi import wait_all
+from repro.noise import PeriodicNoise, PoissonNoise, TraceNoise
+from repro.sim import MS, SEC, US
+
+_slow = settings(max_examples=20, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- random point-to-point schedules -----------------------------------------------
+
+@given(schedule=st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 4),
+              st.integers(0, 2048)),
+    min_size=1, max_size=30))
+@_slow
+def test_property_random_ptp_schedules_complete_in_order(schedule):
+    """For any list of (src, dst, tag, size) sends — with matching
+    receives posted — everything completes, and same-(pair, tag)
+    messages arrive in send order."""
+    m = Machine(MachineConfig(n_nodes=4))
+    sends_by_rank = {r: [] for r in range(4)}
+    recvs_by_rank = {r: [] for r in range(4)}
+    for i, (src, dst, tag, size) in enumerate(schedule):
+        sends_by_rank[src].append((dst, tag, size, i))
+        recvs_by_rank[dst].append((src, tag, i))
+
+    received = {r: [] for r in range(4)}
+
+    def prog(ctx):
+        reqs = [ctx.irecv(src, tag=tag)
+                for src, tag, _i in recvs_by_rank[ctx.rank]]
+        for dst, tag, size, i in sends_by_rank[ctx.rank]:
+            yield from ctx.send(dst, size, tag=tag, payload=i)
+        msgs = yield from wait_all(reqs)
+        received[ctx.rank] = [(msg.src_rank, msg.tag, msg.payload)
+                              for msg in msgs]
+
+    m.run_to_completion(m.launch(prog))
+    # Every message accounted for.
+    total = sum(len(v) for v in received.values())
+    assert total == len(schedule)
+    # Non-overtaking per (src, dst, tag): payload indices increase.
+    for dst, msgs in received.items():
+        per_key = {}
+        for src, tag, idx in msgs:
+            per_key.setdefault((src, tag), []).append(idx)
+        for key, idxs in per_key.items():
+            assert idxs == sorted(idxs), (dst, key, idxs)
+
+
+# -- allreduce algorithm equivalence -------------------------------------------------
+
+@given(P=st.integers(2, 9),
+       values=st.data())
+@_slow
+def test_property_allreduce_algorithms_agree(P, values):
+    payloads = [values.draw(st.integers(-1000, 1000)) for _ in range(P)]
+    expected = sum(payloads)
+    for alg in ("recursive-doubling", "reduce-bcast", "ring"):
+        m = Machine(MachineConfig(n_nodes=P))
+
+        def prog(ctx, alg=alg):
+            return (yield from ctx.allreduce(size=32, payload=payloads[ctx.rank],
+                                             algorithm=alg))
+
+        procs = m.launch(prog)
+        m.run_to_completion(procs)
+        assert [p.value for p in procs] == [expected] * P, alg
+
+
+@given(P=st.integers(2, 8), root=st.data())
+@_slow
+def test_property_bcast_gather_roundtrip(P, root):
+    r = root.draw(st.integers(0, P - 1))
+    m = Machine(MachineConfig(n_nodes=P))
+
+    def prog(ctx):
+        data = list(range(10)) if ctx.rank == r else None
+        got = yield from ctx.bcast(size=80, root=r, payload=data)
+        back = yield from ctx.gather(size=8, root=r, payload=got[ctx.rank % 10])
+        return back
+
+    procs = m.launch(prog)
+    m.run_to_completion(procs)
+    assert procs[r].value == [rank % 10 for rank in range(P)]
+
+
+# -- determinism across rebuilds ---------------------------------------------------------
+
+@given(seed=st.integers(0, 2**20))
+@settings(max_examples=10, deadline=None)
+def test_property_runs_are_bit_deterministic(seed):
+    cfg = ExperimentConfig(app="pop", nodes=6, noise_pattern="2.5pct@100Hz",
+                           seed=seed,
+                           app_params=dict(baroclinic_ns=500_000,
+                                           solver_iterations=5,
+                                           solver_compute_ns=5000,
+                                           iterations=2))
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.makespan_ns == b.makespan_ns
+    assert (a.iteration_durations_ns == b.iteration_durations_ns).all()
+
+
+# -- capture/replay losslessness ---------------------------------------------------------
+
+@given(period=st.integers(1000, 100_000), duration=st.integers(1, 500),
+       phase=st.integers(0, 100_000))
+@settings(max_examples=50, deadline=None)
+def test_property_periodic_capture_replay_exact(period, duration, phase):
+    duration = min(duration, period - 1)
+    src = PeriodicNoise(period, duration, phase=phase)
+    window = 10 * period
+    captured = src.events_in(0, window)
+    if not captured:
+        return
+    # The last captured event may end just past the window; the replay
+    # period must cover its tail.  Probes start after `duration` because
+    # a capture beginning at t=0 cannot see the tail of an event that
+    # started before the capture window (an inherent capture boundary).
+    replay = TraceNoise(captured, repeat_every=window + duration)
+    for a, b in [(duration, window), (window // 3, window // 2),
+                 (window - period, window)]:
+        assert replay.stolen_between(a, b) == src.stolen_between(a, b)
+
+
+@given(seed=st.integers(0, 2**20))
+@settings(max_examples=20, deadline=None)
+def test_property_poisson_capture_replay_exact(seed):
+    src = PoissonNoise(500, 20 * US, seed=seed)
+    window = 1 * SEC
+    captured = src.events_in(0, window)
+    if not captured:
+        return
+    replay = TraceNoise(captured, repeat_every=window + 10 * src.max_event_duration())
+    # Probes start past the capture boundary (an event that began
+    # before t=0 cannot be captured, as with any real trace).
+    tail = src.max_event_duration()
+    probes = [(tail, window // 7), (window // 3, 2 * window // 3),
+              (window - 50 * MS, window)]
+    for a, b in probes:
+        # Identical within the window except events whose tails cross
+        # the capture boundary; probe interiors avoid that.
+        assert replay.stolen_between(a, b) == src.stolen_between(a, b)
+
+
+# -- iteration accounting closure -----------------------------------------------------------
+
+@given(seed=st.integers(0, 2**16), n_iter=st.integers(2, 8))
+@settings(max_examples=15, deadline=None)
+def test_property_iteration_spans_tile_the_run(seed, n_iter):
+    """Per-rank iteration intervals are contiguous and ordered."""
+    from repro.apps import BSPApp
+    m = Machine(MachineConfig(n_nodes=4, kernel="tuned-linux", seed=seed))
+    app = BSPApp(work_ns=200_000, iterations=n_iter)
+    m.run_to_completion(m.launch(app))
+    for rank in range(4):
+        spans = app.iteration_times[rank]
+        assert len(spans) == n_iter
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert s0 <= e0 == s1 <= e1
+
+
+# -- numpy payload integrity through collectives ----------------------------------------------
+
+@given(P=st.integers(2, 6), n=st.integers(1, 16))
+@_slow
+def test_property_numpy_allreduce_exact(P, n):
+    base = np.arange(n, dtype=np.int64)
+    m = Machine(MachineConfig(n_nodes=P))
+
+    def prog(ctx):
+        return (yield from ctx.allreduce(size=8 * n,
+                                         payload=base * (ctx.rank + 1)))
+
+    procs = m.launch(prog)
+    m.run_to_completion(procs)
+    expected = base * (P * (P + 1) // 2)
+    for p in procs:
+        assert (p.value == expected).all()

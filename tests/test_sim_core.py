@@ -1,0 +1,186 @@
+"""Unit tests for the DES engine: environment, events, ordering."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import (
+    PRIORITY_LAZY,
+    PRIORITY_URGENT,
+    Environment,
+    Event,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment(initial_time=123).now == 123
+
+
+def test_negative_initial_time_rejected():
+    with pytest.raises(ValueError):
+        Environment(initial_time=-1)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(100)
+    env.run()
+    assert env.now == 100
+
+
+def test_run_until_time_stops_before_event():
+    env = Environment()
+    fired = []
+    ev = env.timeout(100)
+    ev.callbacks.append(lambda e: fired.append(env.now))
+    env.run(until=100)  # events AT until are not processed
+    assert env.now == 100
+    assert fired == []
+    env.run(until=101)
+    assert fired == [100]
+
+
+def test_run_until_time_with_empty_queue_jumps_clock():
+    env = Environment()
+    env.run(until=5000)
+    assert env.now == 5000
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.timeout(10)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_same_instant_events_fifo_order():
+    env = Environment()
+    order = []
+    for i in range(5):
+        ev = env.timeout(50)
+        ev.callbacks.append(lambda e, i=i: order.append(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_beats_fifo_at_same_instant():
+    env = Environment()
+    order = []
+
+    lazy = Event(env)
+    lazy.callbacks.append(lambda e: order.append("lazy"))
+    lazy._ok = True
+    lazy._value = None
+    env.schedule(lazy, delay=10, priority=PRIORITY_LAZY)
+
+    urgent = Event(env)
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    urgent._ok = True
+    urgent._value = None
+    env.schedule(urgent, delay=10, priority=PRIORITY_URGENT)
+
+    env.run()
+    assert order == ["urgent", "lazy"]
+
+
+def test_schedule_into_past_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(Event(env), delay=-1)
+
+
+def test_step_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_peek_returns_next_timestamp():
+    env = Environment()
+    assert env.peek() is None
+    env.timeout(30)
+    env.timeout(10)
+    assert env.peek() == 10
+
+
+def test_event_succeed_carries_value():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("payload")
+    env.run()
+    assert ev.processed
+    assert ev.ok
+    assert ev.value == "payload"
+
+
+def test_event_double_succeed_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_pending_event_value_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-5)
+
+
+def test_events_processed_counter():
+    env = Environment()
+    for _ in range(7):
+        env.timeout(1)
+    env.run()
+    assert env.events_processed == 7
+
+
+def test_interleaved_timestamps_process_in_time_order():
+    env = Environment()
+    seen = []
+    for delay in (30, 10, 20, 10, 5):
+        ev = env.timeout(delay)
+        ev.callbacks.append(lambda e, d=delay: seen.append((env.now, d)))
+    env.run()
+    assert [t for t, _ in seen] == sorted(t for t, _ in seen)
+    assert seen[0] == (5, 5)
+    assert seen[-1] == (30, 30)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(42)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 42
+
+
+def test_run_until_never_firing_event_deadlocks():
+    env = Environment()
+    orphan = env.event()
+
+    def waiter(env):
+        yield orphan
+
+    env.process(waiter(env))
+    with pytest.raises(DeadlockError):
+        env.run(until=orphan)

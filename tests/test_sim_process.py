@@ -1,0 +1,234 @@
+"""Unit tests for generator processes, interrupts, and conditions."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_process_runs_and_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 15
+
+
+def test_process_is_alive_transitions():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_waiting_on_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(7)
+        log.append("child")
+        return 99
+
+    def parent(env):
+        value = yield env.process(child(env))
+        log.append("parent")
+        return value
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == 99
+    assert log == ["child", "parent"]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    log = []
+
+    def ticker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            log.append((env.now, name))
+
+    env.process(ticker(env, "a", 10))
+    env.process(ticker(env, "b", 15))
+    env.run()
+    # At t=30 both fire; "b"'s timeout was scheduled first (at t=15, vs
+    # "a"'s at t=20), so FIFO-by-scheduling-order puts "b" first.
+    assert log == [(10, "a"), (15, "b"), (20, "a"), (30, "b"), (30, "a"), (45, "b")]
+
+
+def test_process_yielding_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_process_yielding_foreign_event_raises():
+    env1 = Environment()
+    env2 = Environment()
+
+    def bad(env):
+        yield env2.timeout(1)
+
+    env1.process(bad(env1))
+    with pytest.raises(SimulationError):
+        env1.run()
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_crashing_process_propagates_when_unwatched():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1)
+        raise RuntimeError("kaboom")
+
+    env.process(boom(env))
+    with pytest.raises(RuntimeError, match="kaboom"):
+        env.run()
+
+
+def test_crashing_process_fails_watchers():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1)
+        raise RuntimeError("kaboom")
+
+    def watcher(env):
+        try:
+            yield env.process(boom(env))
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = env.process(watcher(env))
+    assert env.run(until=p) == "caught kaboom"
+
+
+def test_interrupt_wakes_waiting_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(1_000_000)
+            return "slept"
+        except Interrupt as i:
+            return f"interrupted:{i.cause}"
+
+    p = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(10)
+        p.interrupt("wakeup")
+
+    env.process(interrupter(env))
+    assert env.run(until=p) == "interrupted:wakeup"
+    assert env.now == 10
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_already_processed_event_resumes_inline():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def late(env):
+        yield env.timeout(100)
+        value = yield done  # already processed; must not block
+        return value
+
+    p = env.process(late(env))
+    assert env.run(until=p) == "early"
+    assert env.now == 100
+
+
+def test_deadlock_detection_on_drain():
+    env = Environment()
+
+    def stuck(env):
+        yield env.event()  # never fires
+
+    env.process(stuck(env))
+    with pytest.raises(DeadlockError):
+        env.run()
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        values = yield env.all_of([env.timeout(5, "a"), env.timeout(20, "b"),
+                                   env.timeout(10, "c")])
+        return (env.now, values)
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == (20, ["a", "b", "c"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        values = yield env.all_of([])
+        return (env.now, values)
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == (0, [])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        value = yield env.any_of([env.timeout(50, "slow"), env.timeout(5, "fast")])
+        return (env.now, value)
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == (5, "fast")
+
+
+def test_any_of_empty_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.any_of([])
+
+
+def test_process_name_defaults_and_override():
+    env = Environment()
+
+    def myproc(env):
+        yield env.timeout(1)
+
+    assert env.process(myproc(env)).name == "myproc"
+    assert env.process(myproc(env), name="custom").name == "custom"
+    env.run()

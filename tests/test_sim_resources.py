@@ -1,0 +1,137 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        yield store.put("x")
+        item = yield store.get()
+        return item
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "x"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer(env):
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(30)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert log == [(30, "late")]
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(env):
+        yield env.timeout(5)
+        yield store.put("first")
+        yield store.put("second")
+
+    env.process(consumer(env, "c1"))
+    env.process(consumer(env, "c2"))
+    env.process(producer(env))
+    env.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+def test_bounded_store_blocks_put_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer(env):
+        yield env.timeout(40)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("put1", 0), ("got", 1, 40), ("put2", 40)]
+    assert len(store) == 1
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_resource_capacity_limits_concurrency():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active_high_water = []
+
+    def worker(env):
+        yield res.request()
+        active_high_water.append(res.in_use)
+        yield env.timeout(10)
+        res.release()
+
+    for _ in range(5):
+        env.process(worker(env))
+    env.run()
+    assert max(active_high_water) <= 2
+    assert res.in_use == 0
+    assert res.queued == 0
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, tag, hold):
+        yield res.request()
+        order.append(tag)
+        yield env.timeout(hold)
+        res.release()
+
+    env.process(worker(env, "a", 10))
+    env.process(worker(env, "b", 10))
+    env.process(worker(env, "c", 10))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_release_without_request_rejected():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)

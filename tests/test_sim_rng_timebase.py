@@ -1,0 +1,100 @@
+"""Tests for the RNG tree and the time-base helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    MICROSECOND,
+    MILLISECOND,
+    RandomTree,
+    SECOND,
+    derive_seed,
+    hz_to_period_ns,
+    ms_from_ns,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+    period_ns_to_hz,
+    s_from_ns,
+    us_from_ns,
+)
+
+
+# -- timebase ------------------------------------------------------------------
+
+def test_unit_constants_consistent():
+    assert MICROSECOND == 1_000
+    assert MILLISECOND == 1_000 * MICROSECOND
+    assert SECOND == 1_000 * MILLISECOND
+
+
+def test_conversions_roundtrip():
+    assert ns_from_s(1.5) == 1_500_000_000
+    assert ns_from_ms(2.5) == 2_500_000
+    assert ns_from_us(0.5) == 500
+    assert s_from_ns(SECOND) == 1.0
+    assert ms_from_ns(MILLISECOND) == 1.0
+    assert us_from_ns(MICROSECOND) == 1.0
+
+
+def test_hz_period_inverse():
+    assert hz_to_period_ns(100) == 10 * MILLISECOND
+    assert period_ns_to_hz(10 * MILLISECOND) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        hz_to_period_ns(0)
+    with pytest.raises(ValueError):
+        period_ns_to_hz(0)
+
+
+@given(hz=st.floats(min_value=0.01, max_value=1e6,
+                    allow_nan=False, allow_infinity=False))
+def test_property_hz_roundtrip(hz):
+    period = hz_to_period_ns(hz)
+    assert period_ns_to_hz(period) == pytest.approx(hz, rel=0.01)
+
+
+# -- rng tree --------------------------------------------------------------------
+
+def test_derive_seed_stable_and_distinct():
+    a = derive_seed(42, "x")
+    assert a == derive_seed(42, "x")
+    assert a != derive_seed(42, "y")
+    assert a != derive_seed(43, "x")
+
+
+def test_generator_streams_reproducible():
+    tree = RandomTree(7)
+    a = tree.generator("node0/noise").integers(0, 1 << 30, size=10)
+    b = tree.generator("node0/noise").integers(0, 1 << 30, size=10)
+    assert (a == b).all()
+
+
+def test_generator_streams_independent():
+    tree = RandomTree(7)
+    a = tree.generator("a").integers(0, 1 << 30, size=10)
+    b = tree.generator("b").integers(0, 1 << 30, size=10)
+    assert (a != b).any()
+
+
+def test_child_tree_namespacing():
+    tree = RandomTree(7)
+    child = tree.child("node3")
+    direct = tree.generator("node3/noise").integers(0, 1 << 30, size=5)
+    via_child = child.generator("noise").integers(0, 1 << 30, size=5)
+    assert (direct == via_child).all()
+    grand = child.child("nic").generator("rx").integers(0, 1 << 30, size=5)
+    flat = tree.generator("node3/nic/rx").integers(0, 1 << 30, size=5)
+    assert (grand == flat).all()
+
+
+def test_order_independence():
+    """Labels decide the stream, not the order of creation."""
+    t1 = RandomTree(5)
+    first = t1.generator("alpha").integers(0, 1 << 30, size=4)
+    _ = t1.generator("beta").integers(0, 1 << 30, size=4)
+
+    t2 = RandomTree(5)
+    _ = t2.generator("beta").integers(0, 1 << 30, size=4)
+    second = t2.generator("alpha").integers(0, 1 << 30, size=4)
+    assert (first == second).all()

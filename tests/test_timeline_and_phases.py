@@ -1,0 +1,237 @@
+"""Tests for merged timelines, app phase instrumentation, per-node CPU
+speed (sick nodes), and observer export helpers."""
+
+import pytest
+
+from repro.apps import BSPApp, POPLikeApp
+from repro.core import Machine, MachineConfig
+from repro.errors import ConfigError
+from repro.kernel import CPU, KernelConfig, Node
+from repro.ktau import (
+    KtauTracer,
+    build_app_profile,
+    merged_timeline,
+    timeline_text,
+)
+from repro.ktau.export import intervals_to_rows, profile_to_csv, profile_to_rows, trace_to_rows
+from repro.ktau.profile import build_kernel_profile
+from repro.microbench import PSNAPBenchmark
+from repro.noise import InjectionPlan, NullNoise
+from repro.sim import Environment, MS
+
+
+def _observed_pop(n=4, seed=2):
+    m = Machine(MachineConfig(n_nodes=n, kernel="tuned-linux",
+                              injection=InjectionPlan("2.5pct@100Hz",
+                                                      seed=seed),
+                              seed=seed))
+    tr = KtauTracer(m)
+    app = POPLikeApp(baroclinic_ns=2 * MS, solver_iterations=10,
+                     solver_compute_ns=10_000, iterations=3).bind_tracer(tr)
+    m.run_to_completion(m.launch(app))
+    return m, tr, app
+
+
+# -- phase instrumentation --------------------------------------------------------
+
+def test_pop_emits_phase_intervals():
+    m, tr, app = _observed_pop()
+    profs = build_app_profile(tr, 0)
+    assert set(profs) == {"pop:iteration", "pop:baroclinic", "pop:barotropic"}
+    assert profs["pop:baroclinic"].count == 3
+    assert profs["pop:barotropic"].count == 3
+
+
+def test_phases_nest_inside_iterations():
+    m, tr, app = _observed_pop()
+    iters = tr.app_intervals(0, "pop:iteration")
+    for phase_name in ("pop:baroclinic", "pop:barotropic"):
+        for phase in tr.app_intervals(0, phase_name):
+            assert any(it.start <= phase.start and phase.end <= it.end
+                       for it in iters), phase_name
+
+
+def test_solver_phase_more_noise_sensitive():
+    """The barotropic (allreduce-storm) phase has a higher noise share
+    than the baroclinic compute — the observer sees POP's soft spot."""
+    m, tr, app = _observed_pop(seed=7)
+    profs = build_app_profile(tr, 0)
+    # Communication-driven interference concentrates in the solver.
+    assert (profs["pop:barotropic"].stolen_by_kind.get("softirq", 0)
+            > profs["pop:baroclinic"].stolen_by_kind.get("softirq", 0))
+
+
+def test_phase_without_tracer_is_noop():
+    m = Machine(MachineConfig(n_nodes=2))
+    app = POPLikeApp(baroclinic_ns=100_000, solver_iterations=2,
+                     solver_compute_ns=1000, iterations=2)
+    m.run_to_completion(m.launch(app))  # must not raise
+    assert app.makespan_ns() > 0
+
+
+# -- merged timeline ------------------------------------------------------------------
+
+def test_timeline_orders_and_nests():
+    m, tr, app = _observed_pop()
+    entries = merged_timeline(tr, 0, 0, m.env.now)
+    times = [e.time for e in entries]
+    assert times == sorted(times)
+    by_label = {}
+    for e in entries:
+        by_label.setdefault(e.label, e)
+    # Outer iteration at depth 0; nested phases deeper.
+    assert by_label["pop:iteration"].depth == 0
+    assert by_label["pop:baroclinic"].depth == 1
+    # Kernel events present.
+    assert any(e.kind == "interrupt" for e in entries)
+
+
+def test_timeline_window_filters():
+    m, tr, app = _observed_pop()
+    first_iter = tr.app_intervals(0, "pop:iteration")[0]
+    entries = merged_timeline(tr, 0, first_iter.start, first_iter.end)
+    labels = {e.label for e in entries if e.kind == "app"}
+    assert "pop:iteration" in labels
+    # Later iterations excluded.
+    app_entries = [e for e in entries if e.label == "pop:iteration"]
+    assert len(app_entries) == 1
+
+
+def test_timeline_text_renders_and_truncates():
+    m, tr, app = _observed_pop()
+    text = timeline_text(tr, 0, 0, m.env.now, max_rows=5)
+    assert "timeline node 0" in text
+    assert "more entries" in text
+    assert len(text.splitlines()) <= 7
+
+
+# -- export helpers ----------------------------------------------------------------------
+
+def test_profile_export_rows_and_csv():
+    m, tr, app = _observed_pop()
+    prof = build_kernel_profile(tr, 0, 0, m.env.now)
+    rows = profile_to_rows(prof)
+    assert rows
+    assert {"node", "source", "kind", "count", "total_ns"} <= set(rows[0])
+    csv = profile_to_csv(prof)
+    assert csv.splitlines()[0].startswith("node,source,kind")
+    assert len(csv.splitlines()) == len(rows) + 1
+
+
+def test_intervals_export_includes_breakdown_and_meta():
+    m, tr, app = _observed_pop()
+    rows = intervals_to_rows(tr, 0, "pop:iteration")
+    assert len(rows) == 3
+    assert rows[0]["meta_i"] == 0
+    assert any(k.startswith("stolen_") for k in rows[0])
+
+
+def test_trace_export_rows():
+    m, tr, app = _observed_pop()
+    rows = trace_to_rows(tr, 0, 0, 5 * MS)
+    assert rows
+    assert all(0 <= r["start_ns"] < 5 * MS for r in rows)
+
+
+# -- sick nodes ------------------------------------------------------------------------------
+
+def test_cpu_speed_scales_wall_time():
+    env = Environment()
+    cpu = CPU(env, NullNoise(), speed=0.5)
+
+    def prog(env):
+        yield from cpu.compute(1000)
+        return env.now
+
+    p = env.process(prog(env))
+    assert env.run(until=p) == 2000
+    assert cpu.work_executed_ns == 1000  # requested work, not cycles
+
+
+def test_cpu_speed_validation():
+    with pytest.raises(ValueError):
+        CPU(Environment(), NullNoise(), speed=0)
+    with pytest.raises(ConfigError):
+        MachineConfig(n_nodes=4, slow_nodes={9: 0.5})
+    with pytest.raises(ConfigError):
+        MachineConfig(n_nodes=4, slow_nodes={1: 0.0})
+
+
+def test_sick_node_drags_bsp_down():
+    def span(slow):
+        m = Machine(MachineConfig(n_nodes=8, slow_nodes=slow))
+        app = BSPApp(work_ns=1 * MS, iterations=10)
+        m.run_to_completion(m.launch(app))
+        return app.makespan_ns()
+
+    healthy = span(None)
+    sick = span({3: 0.8})
+    # The whole machine runs at the sick node's pace (synchronized BSP).
+    assert sick > healthy * 1.2
+
+
+def test_psnap_census_finds_the_sick_node():
+    m = Machine(MachineConfig(n_nodes=8, kernel="tuned-linux", seed=4,
+                              slow_nodes={6: 0.7}))
+    res = PSNAPBenchmark(n_samples=128).run(m)
+    worst_node, _ = res.noisiest_nodes(1)[0]
+    assert worst_node == 6
+
+
+# -- trace persistence -----------------------------------------------------------
+
+def test_kernel_trace_save_load_roundtrip(tmp_path):
+    from repro.ktau import load_kernel_trace, save_kernel_trace
+    m, tr, app = _observed_pop()
+    path = tmp_path / "node0.trace.jsonl"
+    n = save_kernel_trace(tr, 0, 0, m.env.now, path)
+    records = load_kernel_trace(path)
+    assert len(records) == n > 0
+    original = tr.kernel_events_between(0, 0, m.env.now)
+    assert [(r.start, r.duration, r.source) for r in records] == \
+           [(r.start, r.duration, r.source) for r in original]
+
+
+def test_trace_noise_reload_and_inject(tmp_path):
+    from repro.ktau import load_trace_noise, save_kernel_trace
+    m, tr, app = _observed_pop()
+    path = tmp_path / "node0.trace.jsonl"
+    save_kernel_trace(tr, 0, 0, m.env.now, path)
+    noise = load_trace_noise(path)
+    # Replayed utilization matches the observed share (same window).
+    observed = sum(tr.stolen_breakdown(0, 0, m.env.now).values())
+    # stolen_breakdown double counts overlapping sources; replay merges.
+    assert 0 < noise.utilization <= observed / m.env.now * 1.05
+    # It can drive a machine.
+    from repro.noise import InjectionPlan
+    m2 = Machine(MachineConfig(
+        n_nodes=2, kernel="lightweight",
+        injection=InjectionPlan(lambda nid, phase, seed: noise)))
+    app2 = BSPApp(work_ns=1 * MS, iterations=5)
+    m2.run_to_completion(m2.launch(app2))
+    assert app2.makespan_ns() > 5 * MS
+
+
+def test_app_interval_save_load_roundtrip(tmp_path):
+    from repro.ktau import load_app_intervals, save_app_intervals
+    m, tr, app = _observed_pop()
+    path = tmp_path / "intervals.jsonl"
+    n = save_app_intervals(tr, 0, path, "pop:iteration")
+    assert n == 3
+    records = load_app_intervals(path)
+    assert [r.meta["i"] for r in records] == [0, 1, 2]
+    assert all(r.name == "pop:iteration" for r in records)
+
+
+def test_persist_rejects_wrong_kind(tmp_path):
+    from repro.errors import TraceError
+    from repro.ktau import load_app_intervals, save_kernel_trace
+    m, tr, app = _observed_pop()
+    path = tmp_path / "trace.jsonl"
+    save_kernel_trace(tr, 0, 0, m.env.now, path)
+    with pytest.raises(TraceError):
+        load_app_intervals(path)
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(TraceError):
+        load_app_intervals(empty)
