@@ -41,7 +41,7 @@ from .errors import (
     TraceError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

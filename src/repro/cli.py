@@ -20,6 +20,12 @@ Commands
 ``sweep --app pop --nodes 4,16,64 --patterns 2.5pct@10Hz,2.5pct@1000Hz``
     Scaling sweep with shared quiet baselines; prints the slowdown
     table (optionally ``--csv out.csv``).
+
+``run``, ``all``, and ``sweep`` accept ``--workers N`` to fan
+independent simulation points over N processes (``--workers 0`` = one
+per CPU; results are bit-identical to serial) and ``--cache DIR`` to
+reuse previously-simulated points — quiet baselines above all — from
+an on-disk result cache (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -46,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "framework (SC'07 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_execution_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="processes for independent sweep points "
+                            "(default 1 = serial; 0 = one per CPU)")
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="on-disk result cache directory (reuses "
+                            "quiet baselines across invocations)")
+
     sub.add_parser("list", help="show experiments, workloads, presets")
 
     p_run = sub.add_parser("run", help="run one harness experiment")
@@ -53,11 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", default="small", choices=["small", "full"])
     p_run.add_argument("--csv", metavar="PATH",
                        help="also write the table as CSV")
+    add_execution_flags(p_run)
 
     p_all = sub.add_parser("all", help="run the whole evaluation")
     p_all.add_argument("--scale", default="small", choices=["small", "full"])
     p_all.add_argument("--markdown", metavar="PATH",
                        help="write the full report (EXPERIMENTS.md style)")
+    add_execution_flags(p_all)
 
     p_cmp = sub.add_parser("compare", help="one noisy-vs-quiet comparison")
     p_cmp.add_argument("--app", default="bsp", choices=workload_names())
@@ -87,7 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--kernel", default="lightweight")
     p_swp.add_argument("--seed", type=int, default=0)
     p_swp.add_argument("--csv", metavar="PATH")
+    add_execution_flags(p_swp)
     return parser
+
+
+def _apply_execution_flags(args: argparse.Namespace) -> None:
+    """Point the harness execution policy at the CLI's --workers/--cache."""
+    from .harness import set_execution_policy
+
+    set_execution_policy(workers=args.workers, cache=args.cache)
 
 
 def _cmd_list(out: _t.TextIO) -> int:
@@ -103,6 +127,7 @@ def _cmd_list(out: _t.TextIO) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, out: _t.TextIO) -> int:
+    _apply_execution_flags(args)
     report = harness_run_experiment(args.experiment.upper(), args.scale)
     out.write(report.render())
     if args.csv:
@@ -113,6 +138,7 @@ def _cmd_run(args: argparse.Namespace, out: _t.TextIO) -> int:
 
 
 def _cmd_all(args: argparse.Namespace, out: _t.TextIO) -> int:
+    _apply_execution_flags(args)
     reports = harness_run_all(args.scale,
                               progress=lambda s: out.write(s + "\n"))
     out.write("\n" + render_summary(reports))
@@ -204,7 +230,8 @@ def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
     patterns = [x.strip() for x in args.patterns.split(",") if x.strip()]
     base = ExperimentConfig(app=args.app, kernel=args.kernel, seed=args.seed)
     records = sweep_records(base, nodes=nodes, patterns=patterns,
-                            progress=lambda s: out.write(s + "\n"))
+                            progress=lambda s: out.write(s + "\n"),
+                            workers=args.workers, cache=args.cache)
     headers = ["app", "nodes", "pattern", "makespan ms", "slowdown %",
                "amplification"]
     rows = []

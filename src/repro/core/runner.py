@@ -3,58 +3,72 @@
 A sweep crosses machine sizes with noise patterns (and optionally other
 config axes), reusing one quiet baseline per machine size, and yields
 flat record dicts ready for :func:`repro.analysis.format_table`.
+
+Execution is delegated to :class:`repro.parallel.SweepExecutor`: pass
+``workers=N`` to fan the independent points over N processes (results
+are bit-identical to serial for a fixed seed), and ``cache=`` a
+directory or :class:`~repro.parallel.ResultCache` to serve
+previously-simulated points — quiet baselines above all — from disk.
 """
 
 from __future__ import annotations
 
+import os
 import typing as _t
-from dataclasses import replace
 
-from ..errors import ConfigError
-from .experiment import ExperimentConfig, run_experiment
+from .experiment import ExperimentConfig
 from .results import ComparisonResult, RunResult
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel import ResultCache
 
 __all__ = ["sweep", "sweep_records"]
 
 
 def sweep(base: ExperimentConfig, *, nodes: _t.Sequence[int],
           patterns: _t.Sequence[str],
-          progress: _t.Callable[[str], None] | None = None
+          progress: _t.Callable[[str], None] | None = None,
+          workers: int | None = 1,
+          cache: "ResultCache | str | os.PathLike[str] | None" = None
           ) -> dict[tuple[int, str], ComparisonResult | RunResult]:
     """Cross ``nodes`` x ``patterns``; quiet baselines are shared.
 
     Returns a mapping from ``(n_nodes, pattern)`` to a
     :class:`ComparisonResult` (noisy patterns) or bare
     :class:`RunResult` (the quiet point itself).
+
+    Parameters
+    ----------
+    workers:
+        Processes to fan points over (1 = serial in-process, the
+        default; ``None``/0 = one per CPU).
+    cache:
+        Optional on-disk result cache (directory path or
+        :class:`~repro.parallel.ResultCache`).
     """
-    if not nodes or not patterns:
-        raise ConfigError("sweep needs at least one node count and pattern")
-    results: dict[tuple[int, str], ComparisonResult | RunResult] = {}
-    for p in nodes:
-        quiet_cfg = replace(base, nodes=p, noise_pattern="quiet")
-        if progress:
-            progress(f"quiet baseline P={p}")
-        quiet = _t.cast(RunResult, run_experiment(quiet_cfg))
-        for pattern in patterns:
-            if pattern.strip().lower() in ("quiet", "none", "off"):
-                results[(p, pattern)] = quiet
-                continue
-            if progress:
-                progress(f"P={p} pattern={pattern}")
-            noisy_cfg = replace(base, nodes=p, noise_pattern=pattern)
-            noisy = _t.cast(RunResult, run_experiment(noisy_cfg))
-            results[(p, pattern)] = ComparisonResult(quiet=quiet, noisy=noisy)
-    return results
+    from ..parallel import SweepExecutor
+
+    executor = SweepExecutor(workers=workers, cache=cache)
+    return executor.run_sweep(base, nodes=nodes, patterns=patterns,
+                              progress=progress)
 
 
 def sweep_records(base: ExperimentConfig, *, nodes: _t.Sequence[int],
                   patterns: _t.Sequence[str],
-                  progress: _t.Callable[[str], None] | None = None
+                  progress: _t.Callable[[str], None] | None = None,
+                  workers: int | None = 1,
+                  cache: "ResultCache | str | os.PathLike[str] | None" = None
                   ) -> list[dict[str, _t.Any]]:
-    """Flat dict-per-point records (for tables/CSV)."""
+    """Flat dict-per-point records (for tables/CSV).
+
+    Records are sorted by ``(nodes, pattern)`` — not by execution or
+    completion order — so the output is stable for any ``workers``
+    setting.
+    """
     out = []
-    for (p, pattern), res in sweep(base, nodes=nodes, patterns=patterns,
-                                   progress=progress).items():
+    results = sweep(base, nodes=nodes, patterns=patterns,
+                    progress=progress, workers=workers, cache=cache)
+    for (p, pattern), res in sorted(results.items()):
         record = res.as_dict()
         record.setdefault("nodes", p)
         record.setdefault("pattern", pattern)

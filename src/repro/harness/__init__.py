@@ -12,12 +12,19 @@ executable *shape checks* (DESIGN.md's reproduction criteria)::
     open("EXPERIMENTS.md", "w").write(render_markdown(reports))
 """
 
-from .base import ExperimentReport, Scale
+from .base import (
+    ExecutionPolicy,
+    ExperimentReport,
+    Scale,
+    execution_policy,
+    set_execution_policy,
+)
 from .registry import EXPERIMENTS, experiment_ids, run_all, run_experiment
 from .report import render_markdown, render_summary
 
 __all__ = [
     "ExperimentReport", "Scale",
+    "ExecutionPolicy", "execution_policy", "set_execution_policy",
     "EXPERIMENTS", "experiment_ids", "run_experiment", "run_all",
     "render_markdown", "render_summary",
 ]

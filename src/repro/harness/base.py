@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from ..analysis.tables import format_csv, format_table
 from ..errors import ConfigError
 
-__all__ = ["ExperimentReport", "Scale", "check_scale"]
+__all__ = ["ExperimentReport", "Scale", "check_scale",
+           "ExecutionPolicy", "execution_policy", "set_execution_policy"]
 
 Scale = str
 _SCALES = ("small", "full")
@@ -31,6 +32,52 @@ def check_scale(scale: Scale) -> Scale:
     if scale not in _SCALES:
         raise ConfigError(f"scale must be one of {_SCALES}, got {scale!r}")
     return scale
+
+
+@dataclass
+class ExecutionPolicy:
+    """How harness experiments execute their sweeps.
+
+    Experiments stay pure ``run(scale) -> report`` functions; the CLI
+    (``--workers`` / ``--cache``) sets this process-wide policy and
+    sweep-shaped experiments route through
+    :class:`repro.parallel.SweepExecutor` accordingly.
+
+    Attributes
+    ----------
+    workers:
+        Process fan-out for sweep points (1 = serial in-process;
+        ``None``/0 = one per CPU).
+    cache:
+        Optional on-disk result-cache directory (or a
+        :class:`~repro.parallel.ResultCache`).
+    """
+
+    workers: int | None = 1
+    cache: _t.Any = None
+
+
+_POLICY = ExecutionPolicy()
+
+
+def execution_policy() -> ExecutionPolicy:
+    """The process-wide harness execution policy."""
+    return _POLICY
+
+
+def set_execution_policy(*, workers: int | None = None,
+                         cache: _t.Any = None) -> ExecutionPolicy:
+    """Update the process-wide policy; returns it.
+
+    ``workers=None`` leaves the current worker setting untouched (use
+    ``workers=0`` for "one per CPU"); ``cache=None`` leaves caching
+    untouched and ``cache=""`` disables it.
+    """
+    if workers is not None:
+        _POLICY.workers = workers
+    if cache is not None:
+        _POLICY.cache = cache or None
+    return _POLICY
 
 
 @dataclass

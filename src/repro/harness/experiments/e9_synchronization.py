@@ -13,8 +13,9 @@ experiment behind the era's co-scheduled-daemons folklore.
 
 from __future__ import annotations
 
-from ...core import ExperimentConfig, run_with_baseline
-from ..base import ExperimentReport, Scale, check_scale
+from ...core import ExperimentConfig
+from ...parallel import SweepExecutor
+from ..base import ExperimentReport, Scale, check_scale, execution_policy
 
 EXPERIMENT_ID = "E9"
 TITLE = "Synchronized vs unsynchronized noise across nodes"
@@ -32,11 +33,16 @@ def run(scale: Scale = "small", *, seed: int = 97) -> ExperimentReport:
                "amplification"]
     rows = []
     slow: dict[str, float] = {}
-    for alignment in _ALIGNMENTS:
-        cmp = run_with_baseline(ExperimentConfig(
+    policy = execution_policy()
+    executor = SweepExecutor(workers=policy.workers, cache=policy.cache)
+    comparisons = executor.run_comparisons({
+        alignment: ExperimentConfig(
             app="bsp", nodes=nodes, noise_pattern="2.5pct@10Hz",
             alignment=alignment, seed=seed, kernel="lightweight",
-            app_params=app_params))
+            app_params=app_params)
+        for alignment in _ALIGNMENTS})
+    for alignment in _ALIGNMENTS:
+        cmp = comparisons[alignment]
         sd = cmp.slowdown
         slow[alignment] = sd.slowdown_fraction
         rows.append([alignment, round(cmp.quiet.makespan_ns / 1e6, 2),

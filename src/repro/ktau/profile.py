@@ -9,7 +9,6 @@ stole, by category).
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass, field
 
 from ..errors import TraceError

@@ -9,7 +9,6 @@ kernel+user traces the original study's toolchain produced.
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass
 
 from .records import AppIntervalRecord, KernelEventRecord

@@ -15,7 +15,6 @@ delivery between a node pair is FIFO.
 
 from __future__ import annotations
 
-import typing as _t
 from collections import deque
 from dataclasses import dataclass
 

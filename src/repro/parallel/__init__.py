@@ -1,0 +1,41 @@
+"""Parallel sweep execution and on-disk result caching.
+
+The engine behind fast reproduction runs: every figure in E1–E14 is a
+sweep over independent, deterministic ``(nodes, pattern)`` simulation
+points, so they shard cleanly across processes and cache cleanly on
+disk.
+
+* :class:`SweepExecutor` — fans sweep points over a process pool
+  (``workers=`` knob, serial fallback at ``workers=1``), collects
+  deterministically by point key, and reports per-point timings plus
+  simulated-vs-cached counts via :class:`SweepStats`.
+* :class:`ResultCache` — content-keyed pickle cache (stable SHA-256 of
+  the config, salted with :data:`repro.__version__`) so quiet
+  baselines are computed once ever and shared across sweeps, CLI
+  invocations, and the experiment harness.
+
+Quick taste::
+
+    from repro.core import ExperimentConfig
+    from repro.parallel import SweepExecutor
+
+    ex = SweepExecutor(workers=4, cache="~/.cache/repro-ghost")
+    results = ex.run_sweep(ExperimentConfig(app="pop", seed=1),
+                           nodes=[16, 64], patterns=["2.5pct@10Hz"])
+    print(ex.last_stats.as_dict())
+
+or simply ``repro.core.sweep(..., workers=4, cache=...)``.
+"""
+
+from .cache import CacheStats, ResultCache, config_key, config_token
+from .executor import (
+    PointTiming,
+    SweepExecutor,
+    SweepStats,
+    normalized_quiet_twin,
+)
+
+__all__ = [
+    "SweepExecutor", "SweepStats", "PointTiming", "normalized_quiet_twin",
+    "ResultCache", "CacheStats", "config_key", "config_token",
+]

@@ -1,0 +1,186 @@
+"""On-disk, content-keyed result cache for experiment runs.
+
+Every simulation in this library is a pure function of its
+:class:`~repro.core.ExperimentConfig` (runs are deterministic per
+seed), so a run result can be cached forever under a stable hash of
+the config.  The big win is quiet baselines: a scaling sweep
+recomputes one quiet run per machine size, and those sizes repeat
+across sweeps, CLI invocations, and the E1–E14 harness — with a cache
+they are simulated once ever per library version.
+
+Key scheme
+----------
+:func:`config_key` canonicalises the config into a nested structure of
+primitives (dataclasses become ``(qualified name, sorted fields)``,
+dicts are sorted by key, sets are sorted, floats go through ``repr``
+so the key survives JSON round-trips) and hashes the JSON encoding
+with SHA-256.  The current :data:`repro.__version__` is mixed into
+every key and also names the cache subdirectory, so bumping the
+library version invalidates the whole cache without deleting anything.
+
+Storage is one pickle file per result under
+``<root>/v<version>/<key>.pkl``.  Writes go through a temp file +
+``os.replace`` so concurrent workers never observe a torn entry;
+unreadable entries count as misses and are removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import typing as _t
+from pathlib import Path
+
+from .. import __version__
+
+__all__ = ["CacheStats", "ResultCache", "config_key", "config_token"]
+
+
+def config_token(obj: _t.Any) -> _t.Any:
+    """Canonicalise ``obj`` into a JSON-encodable, order-stable token."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() is the shortest round-trippable form — stable across
+        # processes and unaffected by JSON float formatting.
+        return ("float", repr(obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: config_token(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return (type(obj).__qualname__, sorted(fields.items()))
+    if isinstance(obj, dict):
+        return ("dict", sorted((str(k), config_token(v))
+                               for k, v in obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", [config_token(v) for v in obj])
+    if isinstance(obj, (set, frozenset)):
+        return ("set", sorted(str(config_token(v)) for v in obj))
+    text = repr(obj)
+    if " at 0x" in text:  # default object repr leaks the address
+        state = getattr(obj, "__dict__", None)
+        if state is not None:
+            return (type(obj).__qualname__, config_token(state))
+        raise TypeError(
+            f"cannot build a stable cache key for {type(obj).__qualname__}: "
+            "repr() is address-based and the object has no __dict__")
+    return (type(obj).__qualname__, text)
+
+
+def config_key(config: _t.Any, *, salt: str = "") -> str:
+    """Stable SHA-256 hex key for an experiment config."""
+    payload = json.dumps([salt, config_token(config)],
+                         separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
+
+class ResultCache:
+    """Pickle-per-entry result cache rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).  Entries live in a
+        per-version subdirectory.
+    version:
+        Version salt; defaults to :data:`repro.__version__`.  Bumping
+        it orphans (but does not delete) all prior entries.
+    """
+
+    def __init__(self, root: str | os.PathLike[str],
+                 *, version: str = __version__) -> None:
+        self.root = Path(root)
+        self.version = version
+        self.stats = CacheStats()
+
+    @property
+    def _dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def key(self, config: _t.Any) -> str:
+        return config_key(config, salt=self.version)
+
+    def _path(self, config: _t.Any) -> Path:
+        return self._dir / f"{self.key(config)}.pkl"
+
+    def get(self, config: _t.Any) -> _t.Any | None:
+        """The cached result for ``config``, or ``None`` on a miss."""
+        path = self._path(config)
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # Torn/corrupt/stale entry: treat as a miss and drop it.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, config: _t.Any, value: _t.Any) -> None:
+        """Store ``value`` under ``config``'s key (atomic replace)."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(config)
+        fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def get_or_run(self, config: _t.Any,
+                   fn: _t.Callable[[], _t.Any]) -> _t.Any:
+        """Cached value for ``config``, computing and storing on miss."""
+        value = self.get(config)
+        if value is None:
+            value = fn()
+            self.put(config, value)
+        return value
+
+    def __len__(self) -> int:
+        if not self._dir.is_dir():
+            return 0
+        return sum(1 for p in self._dir.iterdir() if p.suffix == ".pkl")
+
+    def clear(self) -> int:
+        """Delete every entry for this version; returns the count."""
+        removed = 0
+        if self._dir.is_dir():
+            for p in self._dir.iterdir():
+                if p.suffix == ".pkl":
+                    p.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ResultCache {self._dir} entries={len(self)} "
+                f"hits={self.stats.hits} misses={self.stats.misses}>")

@@ -1,0 +1,308 @@
+"""Process-parallel execution of experiment sweeps.
+
+Sweep points are embarrassingly parallel: each ``(nodes, pattern)``
+point is one deterministic simulation, fully described by a frozen
+:class:`~repro.core.ExperimentConfig` (pickles cleanly) and producing
+a frozen :class:`~repro.core.RunResult` (ditto).  The
+:class:`SweepExecutor` fans the points of a sweep out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, collects results
+keyed by point — never by completion order — and reassembles exactly
+the mapping the serial runner produces, so parallel and serial sweeps
+are bit-identical for a fixed seed.
+
+With ``workers=1`` no pool is created at all (graceful serial
+fallback); an optional :class:`~repro.parallel.ResultCache` serves
+previously-simulated points — quiet baselines above all — from disk.
+Per-point wall-clock timings and simulated-vs-cached counts land in
+:attr:`SweepExecutor.last_stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import typing as _t
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..core.experiment import ExperimentConfig, run_experiment
+from ..core.results import ComparisonResult, RunResult
+from ..errors import ConfigError
+from .cache import ResultCache
+
+__all__ = ["PointTiming", "SweepStats", "SweepExecutor",
+           "normalized_quiet_twin"]
+
+#: Pattern spellings that mean "no injected noise".
+_QUIET_ALIASES = ("quiet", "none", "off")
+
+#: Internal point keys: ("quiet", nodes) or ("noisy", nodes, pattern).
+_PointKey = tuple
+
+
+def _is_quiet(pattern: str) -> bool:
+    return pattern.strip().lower() in _QUIET_ALIASES
+
+
+def _run_point(config: ExperimentConfig) -> tuple[RunResult, float]:
+    """Worker entry point: one simulation, with its wall-clock cost.
+
+    Top-level so it pickles into pool workers.
+    """
+    t0 = time.perf_counter()
+    result = _t.cast(RunResult, run_experiment(config))
+    return result, time.perf_counter() - t0
+
+
+def normalized_quiet_twin(config: ExperimentConfig) -> ExperimentConfig:
+    """``config``'s quiet twin with noise-only axes canonicalised.
+
+    Alignment only parameterises the injected noise, so quiet twins
+    that differ in nothing else are the same physical run; normalising
+    lets them share one simulation and one cache entry.
+    """
+    return replace(config, noise_pattern="quiet", alignment="random")
+
+
+@dataclass(frozen=True)
+class PointTiming:
+    """Wall-clock record for one executed (or cache-served) point."""
+
+    label: str
+    elapsed_s: float
+    cached: bool
+
+
+@dataclass
+class SweepStats:
+    """What one :meth:`SweepExecutor.run_sweep` call actually did."""
+
+    workers: int
+    wall_s: float = 0.0
+    timings: list[PointTiming] = field(default_factory=list)
+    quiet_simulated: int = 0
+    quiet_cached: int = 0
+    noisy_simulated: int = 0
+    noisy_cached: int = 0
+
+    @property
+    def points(self) -> int:
+        return len(self.timings)
+
+    def tally(self, key_kind: str, timing: "PointTiming") -> None:
+        """Record one point under the quiet/noisy x cached/simulated grid."""
+        self.timings.append(timing)
+        if timing.cached:
+            if key_kind == "quiet":
+                self.quiet_cached += 1
+            else:
+                self.noisy_cached += 1
+        elif key_kind == "quiet":
+            self.quiet_simulated += 1
+        else:
+            self.noisy_simulated += 1
+
+    @property
+    def simulated_s(self) -> float:
+        """Summed per-point simulation time (serial-equivalent cost)."""
+        return sum(t.elapsed_s for t in self.timings)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall time."""
+        return self.simulated_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return {"workers": self.workers, "points": self.points,
+                "wall_s": self.wall_s, "simulated_s": self.simulated_s,
+                "quiet_simulated": self.quiet_simulated,
+                "quiet_cached": self.quiet_cached,
+                "noisy_simulated": self.noisy_simulated,
+                "noisy_cached": self.noisy_cached}
+
+
+class SweepExecutor:
+    """Runs the independent points of a sweep, serially or in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (the default) runs in-process with no
+        pool; ``None`` or ``0`` means ``os.cpu_count()``.
+    cache:
+        ``None`` (no caching), a :class:`ResultCache`, or a directory
+        path to root one at.
+    """
+
+    def __init__(self, workers: int | None = 1,
+                 cache: ResultCache | str | os.PathLike[str] | None = None
+                 ) -> None:
+        if workers is None or workers == 0:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache: ResultCache | None
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        elif not os.fspath(cache):
+            # An empty path would silently cache into ./v<version>/.
+            self.cache = None
+        else:
+            self.cache = ResultCache(cache)
+        #: Stats of the most recent :meth:`run_sweep` call.
+        self.last_stats: SweepStats | None = None
+
+    # -- generic fan-out ---------------------------------------------------
+    def run_configs(self, configs: _t.Mapping[_t.Any, ExperimentConfig],
+                    *, labels: _t.Mapping[_t.Any, str] | None = None,
+                    progress: _t.Callable[[str], None] | None = None
+                    ) -> tuple[dict[_t.Any, RunResult],
+                               dict[_t.Any, PointTiming]]:
+        """Execute independent configs; results keyed like ``configs``.
+
+        Cache hits never reach the pool.  The returned dicts iterate in
+        ``configs`` order regardless of completion order.
+        """
+        labels = labels or {}
+        served: dict[_t.Any, RunResult] = {}
+        timings: dict[_t.Any, PointTiming] = {}
+        pending: dict[_t.Any, ExperimentConfig] = {}
+        for key, cfg in configs.items():
+            cached = self.cache.get(cfg) if self.cache is not None else None
+            if cached is not None:
+                served[key] = cached
+                timings[key] = PointTiming(labels.get(key, str(key)), 0.0,
+                                           cached=True)
+                if progress:
+                    progress(f"{labels.get(key, key)} (cached)")
+            else:
+                pending[key] = cfg
+
+        if pending and self.workers == 1:
+            for key, cfg in pending.items():
+                result, elapsed = _run_point(cfg)
+                served[key] = result
+                timings[key] = PointTiming(labels.get(key, str(key)),
+                                           elapsed, cached=False)
+                if progress:
+                    progress(f"{labels.get(key, key)} "
+                             f"({elapsed:.2f}s)")
+        elif pending:
+            n_workers = min(self.workers, len(pending))
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {key: pool.submit(_run_point, cfg)
+                           for key, cfg in pending.items()}
+                for key, fut in futures.items():
+                    result, elapsed = fut.result()
+                    served[key] = result
+                    timings[key] = PointTiming(labels.get(key, str(key)),
+                                               elapsed, cached=False)
+                    if progress:
+                        progress(f"{labels.get(key, key)} "
+                                 f"({elapsed:.2f}s)")
+
+        if self.cache is not None:
+            for key, cfg in pending.items():
+                self.cache.put(cfg, served[key])
+
+        ordered = {key: served[key] for key in configs}
+        return ordered, {key: timings[key] for key in configs}
+
+    # -- comparison fan-out ------------------------------------------------
+    def run_comparisons(self, configs: _t.Mapping[_t.Any, ExperimentConfig],
+                        *, progress: _t.Callable[[str], None] | None = None
+                        ) -> dict[_t.Any, ComparisonResult]:
+        """Run noisy configs against their quiet twins, all in one pool.
+
+        The parallel, baseline-deduplicating form of calling
+        :func:`repro.core.run_with_baseline` per config: physically
+        identical quiet twins (see :func:`normalized_quiet_twin`) are
+        simulated once and shared by every comparison that needs them.
+        """
+        from .cache import config_key
+
+        t0 = time.perf_counter()
+        plan: dict[_PointKey, ExperimentConfig] = {}
+        labels: dict[_PointKey, str] = {}
+        twin_of: dict[_t.Any, _PointKey] = {}
+        for key, cfg in configs.items():
+            if _is_quiet(cfg.noise_pattern):
+                raise ConfigError(
+                    f"run_comparisons needs noisy configurations; "
+                    f"{key!r} is {cfg.noise_pattern!r}")
+            twin = normalized_quiet_twin(cfg)
+            twin_key = ("quiet", config_key(twin))
+            if twin_key not in plan:
+                plan[twin_key] = twin
+                labels[twin_key] = f"quiet baseline P={twin.nodes}"
+            twin_of[key] = twin_key
+        for key, cfg in configs.items():
+            plan[("noisy", key)] = cfg
+            labels[("noisy", key)] = (f"P={cfg.nodes} "
+                                      f"pattern={cfg.noise_pattern}")
+
+        points, timings = self.run_configs(plan, labels=labels,
+                                           progress=progress)
+
+        stats = SweepStats(workers=self.workers)
+        for pkey, timing in timings.items():
+            stats.tally(pkey[0], timing)
+        stats.wall_s = time.perf_counter() - t0
+        self.last_stats = stats
+
+        return {key: ComparisonResult(quiet=points[twin_of[key]],
+                                      noisy=points[("noisy", key)])
+                for key in configs}
+
+    # -- sweep orchestration -----------------------------------------------
+    def run_sweep(self, base: ExperimentConfig, *,
+                  nodes: _t.Sequence[int], patterns: _t.Sequence[str],
+                  progress: _t.Callable[[str], None] | None = None
+                  ) -> dict[tuple[int, str], ComparisonResult | RunResult]:
+        """Cross ``nodes`` x ``patterns`` with shared quiet baselines.
+
+        Same contract as :func:`repro.core.sweep`: the returned mapping
+        is keyed and ordered ``(n_nodes, pattern)`` nodes-major, quiet
+        points are bare :class:`RunResult` objects, and every
+        :class:`ComparisonResult` at a given machine size shares the
+        *same* quiet baseline object.
+        """
+        if not nodes or not patterns:
+            raise ConfigError("sweep needs at least one node count and pattern")
+
+        t0 = time.perf_counter()
+        configs: dict[_PointKey, ExperimentConfig] = {}
+        labels: dict[_PointKey, str] = {}
+        for p in nodes:
+            configs[("quiet", p)] = normalized_quiet_twin(
+                replace(base, nodes=p))
+            labels[("quiet", p)] = f"quiet baseline P={p}"
+        for p in nodes:
+            for pattern in patterns:
+                if _is_quiet(pattern):
+                    continue
+                key = ("noisy", p, pattern)
+                configs[key] = replace(base, nodes=p, noise_pattern=pattern)
+                labels[key] = f"P={p} pattern={pattern}"
+
+        points, timings = self.run_configs(configs, labels=labels,
+                                           progress=progress)
+
+        stats = SweepStats(workers=self.workers)
+        for key, timing in timings.items():
+            stats.tally(key[0], timing)
+
+        results: dict[tuple[int, str], ComparisonResult | RunResult] = {}
+        for p in nodes:
+            quiet = points[("quiet", p)]
+            for pattern in patterns:
+                if _is_quiet(pattern):
+                    results[(p, pattern)] = quiet
+                else:
+                    results[(p, pattern)] = ComparisonResult(
+                        quiet=quiet, noisy=points[("noisy", p, pattern)])
+
+        stats.wall_s = time.perf_counter() - t0
+        self.last_stats = stats
+        return results

@@ -7,7 +7,14 @@ events process in a deterministic order: priority first, then FIFO by
 scheduling order.
 
 The environment is single-threaded and purpose-built: one simulation
-run is one ``Environment``.
+run is one ``Environment``.  The main loop is the hottest code in the
+whole reproduction — every simulated compute block, message hop, and
+kernel interruption flows through it — so :meth:`run` trades a little
+readability for speed: the heap, ``heappop``, and stop conditions are
+hoisted into locals, the common callback dispatch is inlined instead of
+calling :meth:`~repro.sim.events.Event._run_callbacks`, and
+``events_processed`` is accumulated locally and written back in one
+batch (read it between ``run()`` calls, not from inside a callback).
 """
 
 from __future__ import annotations
@@ -32,6 +39,9 @@ class Environment:
         Starting clock value in nanoseconds (default 0).
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "events_processed",
+                 "_live_processes")
+
     def __init__(self, initial_time: int = 0) -> None:
         if initial_time < 0:
             raise ValueError("initial_time must be >= 0")
@@ -39,6 +49,7 @@ class Environment:
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = count()
         #: Number of events processed so far (profiling/diagnostics).
+        #: Updated in one batch at the end of each ``run()`` call.
         self.events_processed: int = 0
         #: Count of live (spawned, not yet terminated) processes.
         self._live_processes: int = 0
@@ -85,25 +96,36 @@ class Environment:
 
     # -- main loop ---------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event.
+        """Process the single next live (non-cancelled) event.
+
+        Cancelled events encountered on the way are discarded without
+        running callbacks or counting as processed.
 
         Raises
         ------
         SimulationError
-            If the queue is empty.
+            If no live event remains in the queue.
         """
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - guarded by schedule()
-            raise SimulationError("event queue time went backwards")
-        self._now = when
-        self.events_processed += 1
-        event._run_callbacks()
+        queue = self._queue
+        while queue:
+            when, _prio, _seq, event = heapq.heappop(queue)
+            if event._cancelled:
+                continue
+            self._now = when
+            self.events_processed += 1
+            event._run_callbacks()
+            return
+        raise SimulationError("step() on an empty event queue")
 
     def peek(self) -> int | None:
-        """Timestamp of the next queued event, or ``None`` if drained."""
-        return self._queue[0][0] if self._queue else None
+        """Timestamp of the next queued live event, or ``None`` if drained.
+
+        Discards any cancelled events sitting at the head of the heap.
+        """
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def run(self, until: int | Event | None = None) -> object:
         """Run the simulation.
@@ -113,8 +135,13 @@ class Environment:
         until:
             * ``None`` — run until the queue drains.  If live processes
               remain blocked at that point, raise :class:`DeadlockError`.
-            * ``int`` — run until the clock reaches that absolute time
-              (events at exactly ``until`` are *not* processed).
+            * ``int`` — run until the clock reaches that absolute time.
+              Events at exactly ``until`` are *not* processed — they
+              stay queued for a later ``run()`` call.  This holds even
+              on the edge ``until == now``: ``run(until=env.now)`` is a
+              no-op that leaves same-instant events pending.  If the
+              queue drains before ``until``, the clock jumps straight
+              to ``until`` (and :meth:`peek` then reports ``None``).
             * :class:`Event` — run until that event is processed and
               return its value (re-raising its exception if it failed).
         """
@@ -127,13 +154,57 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError(f"run(until={stop_time}) is in the past (now={self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if stop_time is not None and self._queue[0][0] >= stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        # Hot loop: locals for the heap and heappop, inlined callback
+        # dispatch (the body of Event._run_callbacks), and a batched
+        # events_processed update.  Three specialisations so the
+        # run-to-drain case — the common one — tests nothing per event
+        # beyond the pop itself.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            if stop_event is None and stop_time is None:
+                while queue:
+                    when, _prio, _seq, event = pop(queue)
+                    if event._cancelled:
+                        continue
+                    self._now = when
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+            elif stop_time is not None:
+                while queue:
+                    if queue[0][0] >= stop_time:
+                        self._now = stop_time
+                        return None
+                    when, _prio, _seq, event = pop(queue)
+                    if event._cancelled:
+                        continue
+                    self._now = when
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+            else:
+                stop = _t.cast(Event, stop_event)
+                while queue and not stop._processed:
+                    when, _prio, _seq, event = pop(queue)
+                    if event._cancelled:
+                        continue
+                    self._now = when
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+        finally:
+            self.events_processed += processed
 
         if stop_event is not None:
             if not stop_event.processed:
@@ -154,6 +225,51 @@ class Environment:
                 f"simulation ended with {self._live_processes} process(es) "
                 "still waiting on events that can never fire")
         return None
+
+    def run_until_empty(self, *, max_events: int | None = None) -> None:
+        """Run until the queue drains, bounded by ``max_events``.
+
+        A safety harness around ``run()``: identical drain semantics
+        (including the :class:`DeadlockError` check for blocked
+        processes), but if more than ``max_events`` live events process
+        before the queue empties, raise :class:`SimulationError` so a
+        runaway workload fails fast instead of spinning forever in CI.
+
+        Parameters
+        ----------
+        max_events:
+            Cap on events processed by this call (``None`` = no cap).
+        """
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            while queue:
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"run_until_empty() exceeded max_events={max_events} "
+                        f"with {len(queue)} event(s) still queued at "
+                        f"t={self._now}ns — runaway workload?")
+                when, _prio, _seq, event = pop(queue)
+                if event._cancelled:
+                    continue
+                self._now = when
+                processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+        finally:
+            self.events_processed += processed
+
+        if self._live_processes:
+            raise DeadlockError(
+                f"simulation ended with {self._live_processes} process(es) "
+                "still waiting on events that can never fire")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Environment t={self._now}ns queued={len(self._queue)} "

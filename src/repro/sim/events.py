@@ -66,9 +66,14 @@ class Event:
     *triggered*, i.e. sits in the event queue) -> callbacks run
     (*processed*).  A processed event keeps its value forever so late
     inspectors can read ``event.value``.
+
+    A triggered-but-unprocessed event may be :meth:`cancel`-led: it
+    stays in the event queue (no O(n) heap surgery) but the main loop
+    discards it without running callbacks or counting it as processed.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed",
+                 "_cancelled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -78,6 +83,7 @@ class Event:
         self._value: object = PENDING
         self._ok: bool = True
         self._processed = False
+        self._cancelled = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -96,6 +102,11 @@ class Event:
         return self._ok
 
     @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
     def value(self) -> object:
         """The event's value; raises if the event is still pending."""
         if self._value is PENDING:
@@ -108,6 +119,8 @@ class Event:
 
         Returns ``self`` so calls can be chained.
         """
+        if self._cancelled:
+            raise SimulationError(f"{self!r} was cancelled")
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
@@ -123,11 +136,29 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._cancelled:
+            raise SimulationError(f"{self!r} was cancelled")
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
         self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def cancel(self) -> "Event":
+        """Lazily cancel this event.
+
+        The event is *not* removed from the environment's heap (that
+        would be O(n)); instead the main loop drops it when popped, so
+        its callbacks never run and it never counts as processed.
+        Typical use: abandoning the losing :class:`Timeout` of a
+        timeout-vs-completion race.  Cancelling an already-processed
+        event is an error; cancelling twice is a no-op.
+        """
+        if self._processed:
+            raise SimulationError(f"cannot cancel already-processed {self!r}")
+        self._cancelled = True
+        self.callbacks = []
         return self
 
     # -- internal --------------------------------------------------------
@@ -140,8 +171,9 @@ class Event:
                 cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "processed" if self._processed else (
-            "triggered" if self.triggered else "pending")
+        state = ("cancelled" if self._cancelled else
+                 "processed" if self._processed else
+                 "triggered" if self.triggered else "pending")
         return f"<{type(self).__name__} {state} at 0x{id(self):x}>"
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis import (
     BSPModel,
-    SlowdownResult,
     amplification_factor,
     dominant_frequencies,
     expected_max_wall,

@@ -1,6 +1,5 @@
 """Tests for the application skeletons."""
 
-import numpy as np
 import pytest
 
 from repro.apps import (

@@ -13,7 +13,7 @@ from repro.net import (
     SwitchTopology,
     TorusTopology,
 )
-from repro.sim import Environment, US
+from repro.sim import Environment
 
 
 # -- LogGP ---------------------------------------------------------------------

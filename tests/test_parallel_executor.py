@@ -1,0 +1,289 @@
+"""Tests for the parallel sweep executor and the on-disk result cache."""
+
+import json
+import pickle
+
+import pytest
+
+from repro import __version__
+from repro.core import (
+    ComparisonResult,
+    ExperimentConfig,
+    RunResult,
+    run_with_baseline,
+    sweep,
+    sweep_records,
+)
+from repro.errors import ConfigError
+from repro.parallel import (
+    ResultCache,
+    SweepExecutor,
+    config_key,
+    normalized_quiet_twin,
+)
+
+BSP_SMALL = {"work_ns": 500_000, "iterations": 10}
+
+#: Per-app parameters small enough that one point is tens of ms.
+_DET_APPS = {
+    "bsp": BSP_SMALL,
+    "stencil": dict(work_ns=500_000, halo_bytes=1024, iterations=4),
+    "cg": dict(spmv_ns=500_000, exchange_bytes=1024, iterations=4),
+}
+
+
+def records_blob(records):
+    """Canonical byte encoding of sweep_records output."""
+    return json.dumps(records, sort_keys=True).encode()
+
+
+# -- config keys ------------------------------------------------------------
+
+def test_config_key_stable_and_order_insensitive():
+    a = ExperimentConfig(app="bsp", nodes=8, seed=3,
+                         app_params={"x": 1, "y": 2.5})
+    b = ExperimentConfig(app="bsp", nodes=8, seed=3,
+                         app_params={"y": 2.5, "x": 1})
+    assert config_key(a) == config_key(b)
+    assert len(config_key(a)) == 64  # sha256 hex
+
+
+def test_config_key_differs_on_any_field():
+    base = ExperimentConfig(app="bsp", nodes=8, seed=3)
+    assert config_key(base) != config_key(ExperimentConfig(
+        app="bsp", nodes=8, seed=4))
+    assert config_key(base) != config_key(ExperimentConfig(
+        app="bsp", nodes=16, seed=3))
+    assert config_key(base, salt="v1") != config_key(base, salt="v2")
+
+
+def test_config_key_handles_instance_substrate():
+    from repro.kernel import KernelConfig
+    cfg = ExperimentConfig(kernel=KernelConfig(name="custom", hz=250))
+    assert config_key(cfg) == config_key(
+        ExperimentConfig(kernel=KernelConfig(name="custom", hz=250)))
+    assert config_key(cfg) != config_key(
+        ExperimentConfig(kernel=KernelConfig(name="custom", hz=1000)))
+
+
+def test_normalized_quiet_twin_merges_alignments():
+    a = ExperimentConfig(noise_pattern="2.5pct@10Hz", alignment="staggered")
+    b = ExperimentConfig(noise_pattern="2.5pct@10Hz", alignment="random")
+    assert config_key(normalized_quiet_twin(a)) == config_key(
+        normalized_quiet_twin(b))
+
+
+# -- the cache --------------------------------------------------------------
+
+def test_cache_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(tmp_path)
+    cfg = ExperimentConfig(app="bsp", app_params=BSP_SMALL)
+    assert cache.get(cfg) is None
+    assert cache.stats.misses == 1
+    cache.put(cfg, {"makespan": 123})
+    assert cache.stats.stores == 1
+    assert len(cache) == 1
+    assert cache.get(cfg) == {"makespan": 123}
+    assert cache.stats.hits == 1
+
+
+def test_cache_version_bump_invalidates(tmp_path):
+    old = ResultCache(tmp_path, version="0.9.0")
+    cfg = ExperimentConfig(app="bsp")
+    old.put(cfg, "stale")
+    new = ResultCache(tmp_path)  # current __version__
+    assert new.version == __version__
+    assert new.get(cfg) is None
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cfg = ExperimentConfig(app="bsp")
+    cache.put(cfg, "fine")
+    path = cache._path(cfg)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(cfg) is None
+    assert not path.exists()  # corrupt entry dropped
+
+
+def test_cache_get_or_run_and_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cfg = ExperimentConfig(app="bsp")
+    calls = []
+    assert cache.get_or_run(cfg, lambda: calls.append(1) or "v") == "v"
+    assert cache.get_or_run(cfg, lambda: calls.append(1) or "v") == "v"
+    assert len(calls) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_cached_result_roundtrips_run_result(tmp_path):
+    cache = ResultCache(tmp_path)
+    cfg = ExperimentConfig(app="bsp", nodes=2, app_params=BSP_SMALL)
+    from repro.core import run_experiment
+    fresh = run_experiment(cfg)
+    cache.put(cfg, fresh)
+    back = cache.get(cfg)
+    assert isinstance(back, RunResult)
+    assert back.as_dict() == fresh.as_dict()
+    assert (back.iteration_durations_ns == fresh.iteration_durations_ns).all()
+
+
+# -- executor construction --------------------------------------------------
+
+def test_executor_worker_validation():
+    assert SweepExecutor(workers=1).workers == 1
+    assert SweepExecutor(workers=None).workers >= 1
+    assert SweepExecutor(workers=0).workers >= 1
+    with pytest.raises(ConfigError):
+        SweepExecutor(workers=-2)
+
+
+def test_executor_cache_coercion(tmp_path):
+    assert SweepExecutor().cache is None
+    ex = SweepExecutor(cache=tmp_path)
+    assert isinstance(ex.cache, ResultCache)
+    cache = ResultCache(tmp_path)
+    assert SweepExecutor(cache=cache).cache is cache
+
+
+def test_empty_sweep_rejected():
+    ex = SweepExecutor()
+    base = ExperimentConfig(app="bsp", app_params=BSP_SMALL)
+    with pytest.raises(ConfigError):
+        ex.run_sweep(base, nodes=[], patterns=["quiet"])
+    with pytest.raises(ConfigError):
+        ex.run_sweep(base, nodes=[2], patterns=[])
+
+
+# -- determinism: parallel == serial, byte for byte -------------------------
+
+@pytest.mark.parametrize("app", sorted(_DET_APPS))
+def test_parallel_and_serial_sweeps_bit_identical(app):
+    base = ExperimentConfig(app=app, seed=7, app_params=_DET_APPS[app])
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+    serial = sweep_records(base, workers=1, **kwargs)
+    parallel = sweep_records(base, workers=4, **kwargs)
+    assert records_blob(serial) == records_blob(parallel)
+
+
+def test_parallel_sweep_structure_matches_serial():
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    results = sweep(base, nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"],
+                    workers=2)
+    assert list(results) == [(2, "quiet"), (2, "2.5pct@100Hz"),
+                             (4, "quiet"), (4, "2.5pct@100Hz")]
+    assert isinstance(results[(2, "quiet")], RunResult)
+    cmp = results[(2, "2.5pct@100Hz")]
+    assert isinstance(cmp, ComparisonResult)
+    # Shared-baseline identity survives the process round-trip.
+    assert cmp.quiet is results[(2, "quiet")]
+
+
+def test_sweep_records_sorted_by_nodes_then_pattern():
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    # Deliberately unsorted axes.
+    recs = sweep_records(base, nodes=[4, 2],
+                         patterns=["2.5pct@100Hz", "quiet"])
+    keys = [(r["nodes"], r["pattern"]) for r in recs]
+    assert keys == sorted(keys)
+
+
+def test_parallel_progress_reports_every_point():
+    seen = []
+    base = ExperimentConfig(app="bsp", app_params=BSP_SMALL)
+    sweep(base, nodes=[2], patterns=["2.5pct@100Hz"], workers=2,
+          progress=seen.append)
+    assert any("baseline" in s for s in seen)
+    assert any("2.5pct@100Hz" in s for s in seen)
+
+
+# -- cache-aware sweeps ------------------------------------------------------
+
+def test_second_sweep_serves_baselines_from_cache(tmp_path):
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+
+    first = SweepExecutor(workers=1, cache=tmp_path)
+    first.run_sweep(base, **kwargs)
+    assert first.last_stats.quiet_simulated == 2
+    assert first.last_stats.quiet_cached == 0
+
+    second = SweepExecutor(workers=1, cache=tmp_path)
+    second.run_sweep(base, **kwargs)
+    assert second.last_stats.quiet_simulated == 0
+    assert second.last_stats.quiet_cached == 2
+    assert second.last_stats.noisy_simulated == 0
+    assert second.cache.stats.hits == 4
+    assert second.cache.stats.misses == 0
+
+
+def test_cached_sweep_output_identical_to_fresh(tmp_path):
+    base = ExperimentConfig(app="cg", seed=5, app_params=_DET_APPS["cg"])
+    kwargs = dict(nodes=[2], patterns=["quiet", "2.5pct@100Hz"])
+    fresh = sweep_records(base, workers=1, **kwargs)
+    primed = sweep_records(base, workers=1, cache=tmp_path, **kwargs)
+    cached = sweep_records(base, workers=1, cache=tmp_path, **kwargs)
+    assert records_blob(fresh) == records_blob(primed) == records_blob(cached)
+
+
+def test_baselines_shared_across_different_sweeps(tmp_path):
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    SweepExecutor(workers=1, cache=tmp_path).run_sweep(
+        base, nodes=[2, 4], patterns=["2.5pct@100Hz"])
+    # A different pattern set still reuses the quiet baselines.
+    ex = SweepExecutor(workers=1, cache=tmp_path)
+    ex.run_sweep(base, nodes=[2, 4], patterns=["2.5pct@1000Hz"])
+    assert ex.last_stats.quiet_simulated == 0
+    assert ex.last_stats.quiet_cached == 2
+    assert ex.last_stats.noisy_simulated == 2
+
+
+# -- comparison fan-out ------------------------------------------------------
+
+def test_run_comparisons_matches_run_with_baseline():
+    cfgs = {a: ExperimentConfig(app="bsp", nodes=4,
+                                noise_pattern="2.5pct@100Hz", alignment=a,
+                                seed=1, app_params=BSP_SMALL)
+            for a in ("random", "synchronized")}
+    got = SweepExecutor(workers=1).run_comparisons(cfgs)
+    for a, cfg in cfgs.items():
+        want = run_with_baseline(cfg)
+        assert got[a].as_dict() == want.as_dict()
+
+
+def test_run_comparisons_dedups_quiet_twins():
+    cfgs = {a: ExperimentConfig(app="bsp", nodes=4,
+                                noise_pattern="2.5pct@100Hz", alignment=a,
+                                seed=1, app_params=BSP_SMALL)
+            for a in ("random", "synchronized", "staggered")}
+    ex = SweepExecutor(workers=1)
+    got = ex.run_comparisons(cfgs)
+    # One shared baseline simulation for three comparisons.
+    assert ex.last_stats.quiet_simulated == 1
+    assert ex.last_stats.noisy_simulated == 3
+    quiets = {id(cmp.quiet) for cmp in got.values()}
+    assert len(quiets) == 1
+
+
+def test_run_comparisons_rejects_quiet_config():
+    with pytest.raises(ConfigError):
+        SweepExecutor().run_comparisons(
+            {"x": ExperimentConfig(noise_pattern="quiet")})
+
+
+# -- stats ------------------------------------------------------------------
+
+def test_sweep_stats_shape(tmp_path):
+    ex = SweepExecutor(workers=1, cache=tmp_path)
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    ex.run_sweep(base, nodes=[2], patterns=["quiet", "2.5pct@100Hz"])
+    stats = ex.last_stats
+    assert stats.points == 2
+    assert stats.wall_s > 0
+    assert stats.simulated_s > 0
+    d = stats.as_dict()
+    assert d["workers"] == 1
+    assert d["quiet_simulated"] == 1
+    assert d["noisy_simulated"] == 1
+    assert pickle.loads(pickle.dumps(stats)).points == 2

@@ -184,3 +184,159 @@ def test_run_until_never_firing_event_deadlocks():
     env.process(waiter(env))
     with pytest.raises(DeadlockError):
         env.run(until=orphan)
+
+
+# -- run(until=<int>) edge semantics ----------------------------------------
+
+def test_run_until_now_leaves_same_instant_events_pending():
+    """run(until=now) is a no-op: events at exactly now stay queued."""
+    env = Environment()
+    fired = []
+    ev = env.timeout(100)
+    ev.callbacks.append(lambda e: fired.append(env.now))
+    env.run(until=100)
+    assert env.now == 100
+    # stop_time == now with an event queued at exactly now: untouched.
+    env.run(until=100)
+    assert fired == []
+    assert env.peek() == 100
+    env.run()
+    assert fired == [100]
+
+
+def test_peek_after_clock_jump_on_drain():
+    """When the queue drains before until, the clock jumps and peek()
+    reports an empty queue."""
+    env = Environment()
+    env.timeout(10)
+    env.run(until=5000)
+    assert env.now == 5000
+    assert env.peek() is None
+
+
+# -- run_until_empty --------------------------------------------------------
+
+def test_run_until_empty_drains_queue():
+    env = Environment()
+    for delay in (5, 10, 15):
+        env.timeout(delay)
+    env.run_until_empty()
+    assert env.now == 15
+    assert env.events_processed == 3
+    assert env.peek() is None
+
+
+def test_run_until_empty_cap_raises():
+    env = Environment()
+
+    def ticker(env):
+        while True:  # runaway workload: queue never drains
+            yield env.timeout(10)
+
+    env.process(ticker(env))
+    with pytest.raises(SimulationError, match="max_events"):
+        env.run_until_empty(max_events=100)
+
+
+def test_run_until_empty_cap_not_hit_when_queue_fits():
+    env = Environment()
+    for _ in range(10):
+        env.timeout(1)
+    env.run_until_empty(max_events=100)
+    assert env.events_processed == 10
+
+
+def test_run_until_empty_invalid_cap():
+    with pytest.raises(ValueError):
+        Environment().run_until_empty(max_events=0)
+
+
+def test_run_until_empty_detects_deadlock():
+    env = Environment()
+    orphan = env.event()
+
+    def waiter(env):
+        yield orphan
+
+    env.process(waiter(env))
+    with pytest.raises(DeadlockError):
+        env.run_until_empty()
+
+
+# -- lazy cancellation ------------------------------------------------------
+
+def test_cancelled_timeout_is_skipped():
+    env = Environment()
+    fired = []
+    victim = env.timeout(10)
+    victim.callbacks.append(lambda e: fired.append("victim"))
+    keeper = env.timeout(20)
+    keeper.callbacks.append(lambda e: fired.append("keeper"))
+    victim.cancel()
+    env.run()
+    assert fired == ["keeper"]
+    assert victim.cancelled
+    assert not victim.processed
+    # Cancelled events never count as processed.
+    assert env.events_processed == 1
+
+
+def test_cancel_is_lazy_no_heap_surgery():
+    env = Environment()
+    victim = env.timeout(10)
+    victim.cancel()
+    # The entry is still in the heap until popped or peeked past...
+    assert len(env._queue) == 1
+    # ...but peek() discards cancelled heads.
+    assert env.peek() is None
+
+
+def test_step_skips_cancelled_events():
+    env = Environment()
+    fired = []
+    env.timeout(10).cancel()
+    live = env.timeout(20)
+    live.callbacks.append(lambda e: fired.append(env.now))
+    env.step()
+    assert fired == [20]
+
+
+def test_step_raises_when_only_cancelled_events_remain():
+    env = Environment()
+    env.timeout(10).cancel()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_cancel_twice_is_noop():
+    env = Environment()
+    ev = env.timeout(10)
+    ev.cancel()
+    ev.cancel()
+    assert ev.cancelled
+
+
+def test_cancel_processed_event_rejected():
+    env = Environment()
+    ev = env.timeout(10)
+    env.run()
+    with pytest.raises(SimulationError):
+        ev.cancel()
+
+
+def test_succeed_after_cancel_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.cancel()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_run_until_time_skips_cancelled_then_jumps():
+    env = Environment()
+    env.timeout(10).cancel()
+    env.run(until=100)
+    assert env.now == 100
+    assert env.peek() is None

@@ -6,7 +6,7 @@ import pytest
 from repro.apps import BSPApp, POPLikeApp
 from repro.core import Machine, MachineConfig
 from repro.errors import ConfigError
-from repro.kernel import CPU, KernelConfig, Node
+from repro.kernel import CPU
 from repro.ktau import (
     KtauTracer,
     build_app_profile,
