@@ -21,6 +21,11 @@ Commands
     Scaling sweep with shared quiet baselines; prints the slowdown
     table (optionally ``--csv out.csv``).
 
+``compare`` and ``sweep`` accept ``--faults SPEC`` to run on an
+unreliable machine (``drop=0.01,dup=0.002,timeout=1ms,...`` — see
+:func:`repro.faults.parse_faults` and docs/ROBUSTNESS.md); the E15
+harness experiment sweeps this axis systematically.
+
 ``run``, ``all``, and ``sweep`` accept ``--workers N`` to fan
 independent simulation points over N processes (``--workers 0`` = one
 per CPU; results are bit-identical to serial) and ``--cache DIR`` to
@@ -84,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--kernel", default="lightweight")
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--isolate-noise", action="store_true")
+    p_cmp.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-injection spec, e.g. "
+                            "'drop=0.01,timeout=1ms' ('none' = reliable)")
 
     p_chr = sub.add_parser("characterize",
                            help="measure a kernel's noise signature")
@@ -102,6 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated noise patterns")
     p_swp.add_argument("--kernel", default="lightweight")
     p_swp.add_argument("--seed", type=int, default=0)
+    p_swp.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-injection spec applied to every point")
     p_swp.add_argument("--csv", metavar="PATH")
     add_execution_flags(p_swp)
     return parser
@@ -153,7 +163,7 @@ def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
     cmp = run_with_baseline(ExperimentConfig(
         app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
         alignment=args.alignment, kernel=args.kernel, seed=args.seed,
-        isolate_noise=args.isolate_noise))
+        isolate_noise=args.isolate_noise, faults=args.faults))
     sd = cmp.slowdown
     out.write(format_table(
         ["app", "nodes", "pattern", "quiet ms", "noisy ms", "slowdown %",
@@ -163,6 +173,14 @@ def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
           round(cmp.noisy.makespan_ns / 1e6, 3),
           round(sd.slowdown_percent, 2), round(sd.amplification, 2),
           sd.verdict]]))
+    faults = cmp.noisy.meta.get("faults")
+    if faults:
+        out.write(f"faults ({faults['plan']}): "
+                  f"{faults['messages_dropped']} dropped, "
+                  f"{faults.get('total_retries', 0)} retries, "
+                  f"{faults['duplicates_injected']} duplicated, "
+                  f"{faults.get('total_duplicates_suppressed', 0)} "
+                  "suppressed\n")
     return 0
 
 
@@ -228,7 +246,8 @@ def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
 
     nodes = [int(x) for x in args.nodes.split(",") if x]
     patterns = [x.strip() for x in args.patterns.split(",") if x.strip()]
-    base = ExperimentConfig(app=args.app, kernel=args.kernel, seed=args.seed)
+    base = ExperimentConfig(app=args.app, kernel=args.kernel, seed=args.seed,
+                            faults=args.faults)
     records = sweep_records(base, nodes=nodes, patterns=patterns,
                             progress=lambda s: out.write(s + "\n"),
                             workers=args.workers, cache=args.cache)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from ..apps import build_workload
 from ..errors import ConfigError
+from ..faults import FaultPlan, parse_faults
 from ..kernel import KernelConfig
 from ..ktau import KtauTracer, OverheadModel
 from ..net import LogGPParams
@@ -52,6 +53,11 @@ class ExperimentConfig:
         Root seed for every stochastic stream.
     isolate_noise:
         Core specialization (see :class:`~repro.core.MachineConfig`).
+    faults:
+        Fault-injection policy: a :class:`~repro.faults.FaultPlan`, a
+        compact spec string (``"drop=0.01,timeout=1ms"``, see
+        :func:`~repro.faults.parse_faults`), or ``None`` for the
+        perfectly reliable machine (the default).
     """
 
     app: str = "bsp"
@@ -66,10 +72,17 @@ class ExperimentConfig:
     observer_overhead: OverheadModel | str | None = None
     seed: int = 0
     isolate_noise: bool = False
+    faults: FaultPlan | str | None = None
 
     def injected_utilization(self) -> float:
         """Nominal utilization of the injected pattern (0 for quiet)."""
         return parse_pattern(self.noise_pattern, seed=self.seed).utilization
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The resolved fault plan (spec strings parsed, seed applied)."""
+        if self.faults is None or isinstance(self.faults, FaultPlan):
+            return self.faults
+        return parse_faults(self.faults, seed=self.seed)
 
     def machine_config(self) -> MachineConfig:
         probe = parse_pattern(self.noise_pattern, seed=self.seed)
@@ -80,11 +93,16 @@ class ExperimentConfig:
         return MachineConfig(n_nodes=self.nodes, kernel=self.kernel,
                              network=self.network, topology=self.topology,
                              injection=injection, seed=self.seed,
-                             isolate_noise=self.isolate_noise)
+                             isolate_noise=self.isolate_noise,
+                             faults=self.fault_plan())
 
     def quiet_twin(self) -> "ExperimentConfig":
         """The same experiment with no injected noise."""
         return replace(self, noise_pattern="quiet")
+
+    def reliable_twin(self) -> "ExperimentConfig":
+        """The same experiment with no injected faults."""
+        return replace(self, faults=None)
 
 
 def run_experiment(config: ExperimentConfig,
@@ -104,14 +122,18 @@ def run_experiment(config: ExperimentConfig,
         app.bind_tracer(tracer)
     procs = machine.launch(app)
     machine.run_to_completion(procs)
+    meta: dict[str, _t.Any] = {"workload": app.describe(),
+                               "kernel": machine.config.kernel_config().name}
+    fault_stats = machine.fault_stats()
+    if fault_stats is not None:
+        meta["faults"] = fault_stats
     result = RunResult(
         app=config.app, n_nodes=config.nodes, pattern=config.noise_pattern,
         seed=config.seed, makespan_ns=app.makespan_ns(),
         iteration_durations_ns=app.all_durations_ns(),
         injected_utilization=config.injected_utilization(),
         events_processed=machine.env.events_processed,
-        meta={"workload": app.describe(),
-              "kernel": machine.config.kernel_config().name})
+        meta=meta)
     if return_tracer:
         if tracer is None:
             raise ConfigError("return_tracer requires observer to be enabled")

@@ -18,6 +18,7 @@ import typing as _t
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..faults import FaultPlan
 from ..kernel import KernelConfig, Node
 from ..mpi import Communicator, MPIWorld, RankComm
 from ..net import (
@@ -69,6 +70,12 @@ class MachineConfig:
     slow_nodes:
         Optional mapping ``node id -> relative clock rate`` marking
         degraded nodes (e.g. ``{17: 0.9}`` = node 17 runs at 90%).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` making the machine
+        unreliable: lossy/degradable links, duplicated messages,
+        slowed or crashed nodes, with ack/retry recovery at the MPI
+        point-to-point layer.  ``None`` (the default) is the perfectly
+        reliable machine, bit-identical to pre-fault builds.
     """
 
     n_nodes: int = 4
@@ -81,6 +88,7 @@ class MachineConfig:
     isolate_noise: bool = False
     #: node id -> relative clock rate for degraded ("sick") nodes.
     slow_nodes: _t.Mapping[int, float] | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -130,11 +138,15 @@ class Machine:
         self.env = Environment()
         kernel_cfg = config.kernel_config()
         plan = config.injection
+        faults = config.faults
+        fault_slow = (faults.slow_nodes_for(config.n_nodes)
+                      if faults is not None else {})
         self.nodes: list[Node] = []
         for i in range(config.n_nodes):
             injected = ([plan.source_for(i, config.n_nodes)]
                         if plan is not None else None)
             speed = (config.slow_nodes or {}).get(i, 1.0)
+            speed *= fault_slow.get(i, 1.0)
             self.nodes.append(Node(self.env, i, kernel_cfg,
                                    injected=injected, seed=config.seed,
                                    isolate_noise=config.isolate_noise,
@@ -142,9 +154,10 @@ class Machine:
         self.network = Network(self.env, self.nodes,
                                params=config.network_params(),
                                topology=config.build_topology(),
-                               seed=config.seed)
+                               seed=config.seed, faults=faults)
         self.mpi = MPIWorld(self.env, self.network,
-                            reduce_cost_per_byte=config.reduce_cost_per_byte)
+                            reduce_cost_per_byte=config.reduce_cost_per_byte,
+                            faults=faults)
 
     # -- convenience accessors ------------------------------------------------
     @property
@@ -154,6 +167,25 @@ class Machine:
     def context(self, rank: int, comm: Communicator | None = None) -> RankComm:
         """Messaging context for one rank (mostly for tests/probes)."""
         return self.mpi.rank_context(rank, comm)
+
+    def fault_stats(self) -> dict[str, _t.Any] | None:
+        """Fault/recovery counters, or ``None`` on a reliable machine.
+
+        Combines the wire-level drop counters (network) with the
+        transport's retry/duplicate-suppression/ack counters; see
+        :class:`~repro.faults.FaultStats`.
+        """
+        if self.config.faults is None or not self.config.faults.injects_faults:
+            return None
+        stats: dict[str, _t.Any] = {
+            "plan": self.config.faults.describe(),
+            "messages_dropped": self.network.messages_dropped,
+            "duplicates_injected": self.network.duplicates_injected,
+            "drops_by_node": dict(sorted(self.network.drops_by_node.items())),
+        }
+        if self.mpi.transport is not None:
+            stats.update(self.mpi.transport.stats.as_dict())
+        return stats
 
     # -- execution ----------------------------------------------------------------
     def launch(self, program: RankProgram,

@@ -33,5 +33,20 @@ class MPIError(ReproError):
     """Misuse of the simulated MPI layer (bad rank, tag, communicator)."""
 
 
+class FaultError(SimulationError):
+    """An injected fault escalated past the recovery protocol.
+
+    Raised when the reliable-transport layer exhausts its retry budget
+    for a message (lossy link, crashed peer).  Carries enough context
+    to identify the unreachable channel.
+    """
+
+    def __init__(self, message: str, *, src: int | None = None,
+                 dst: int | None = None) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+
+
 class TraceError(ReproError):
     """The observer (ktau) was asked for data it never recorded."""

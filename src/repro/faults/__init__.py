@@ -1,0 +1,29 @@
+"""Fault injection and recovery for the simulated cluster.
+
+The paper's thesis is that kernel activity perturbs applications
+through the communication path; this package injects *failures* into
+that same path — message loss, duplication, link degradation, node
+slowdown and crash — and supplies the ack/timeout/retry protocol that
+recovers from them.  A retry is a one-off delay, and one-off delays
+propagate and decay through collectives exactly like kernel noise
+(Afzal et al.), so the fault layer extends the absorption story from
+"the kernel stole a slice" to "the fabric ate a message".
+
+Everything is deterministic and seed-derived (see
+:class:`FaultPlan`); with faults disabled the simulator's behavior is
+bit-identical to a build without this package.  See
+docs/ROBUSTNESS.md for the model.
+"""
+
+from .plan import FaultPlan, LinkDegradation, parse_faults
+from .protocol import ACK_KIND, DATA_KIND, FaultStats, ReliableTransport
+
+__all__ = [
+    "FaultPlan",
+    "LinkDegradation",
+    "parse_faults",
+    "FaultStats",
+    "ReliableTransport",
+    "ACK_KIND",
+    "DATA_KIND",
+]

@@ -21,6 +21,7 @@ from .experiments import (
     e12_algorithm_ablation,
     e13_network_substrate,
     e14_indirect_vs_direct,
+    e15_fault_resilience,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
@@ -34,6 +35,7 @@ _MODULES = (
     e12_algorithm_ablation,
     e13_network_substrate,
     e14_indirect_vs_direct,
+    e15_fault_resilience,
 )
 
 #: id -> (title, run callable).

@@ -68,21 +68,44 @@ class Communicator:
 
 
 class MPIWorld:
-    """Machine-wide MPI state: router, communicator registry, defaults."""
+    """Machine-wide MPI state: router, communicator registry, defaults.
+
+    When ``faults`` is a plan that can lose messages, point-to-point
+    traffic is routed through a
+    :class:`~repro.faults.ReliableTransport` (ack/timeout/retry with
+    exponential backoff) instead of straight onto the wire; otherwise
+    the classic zero-overhead connectionless path is wired, bit-
+    identical to a fault-free build.
+    """
 
     def __init__(self, env: Environment, network: Network, *,
-                 reduce_cost_per_byte: float = 0.25) -> None:
+                 reduce_cost_per_byte: float = 0.25,
+                 faults: _t.Any = None) -> None:
         self.env = env
         self.network = network
         self.nodes: list[Node] = network.nodes
         self.router = MessageRouter(env, len(self.nodes))
-        network.on_deliver(self.router.deliver)
+        self.transport = None
+        if faults is not None and faults.needs_protocol:
+            from ..faults import ReliableTransport
+            self.transport = ReliableTransport(env, network, faults)
+            self.transport.attach(self.router.deliver)
+        else:
+            network.on_deliver(self.router.deliver)
         if reduce_cost_per_byte < 0:
             raise MPIError("reduce_cost_per_byte must be >= 0")
         self.reduce_cost_per_byte = reduce_cost_per_byte
         self._next_comm_id = 1
         #: COMM_WORLD: rank i lives on node i.
         self.world = Communicator(0, tuple(range(len(self.nodes))))
+
+    def send_message(self, msg: Message) -> None:
+        """Put one point-to-point message on the wire (via the reliable
+        transport when faults demand it)."""
+        if self.transport is not None:
+            self.transport.send(msg)
+        else:
+            self.network.inject(msg)
 
     # -- communicator management ------------------------------------------------
     def create_comm(self, node_ids: _t.Sequence[int]) -> Communicator:
@@ -187,7 +210,7 @@ class RankComm:
         msg = Message(src=self.node_id, dst=dst_node, tag=tag, size=size,
                       comm_id=self.comm.comm_id, src_rank=self.rank,
                       payload=payload)
-        self.world.network.inject(msg)
+        self.world.send_message(msg)
         done = Event(self.env)
         done.succeed(None)
         return Request(self.env, done, kind="send")

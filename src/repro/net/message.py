@@ -40,6 +40,15 @@ class Message:
     delivered_at:
         Timestamp the receiver's kernel finished rx processing (set by
         the network).
+    kind:
+        Wire-message class: ``"data"`` (application traffic, the
+        default) or ``"ack"`` (reliable-transport control traffic; only
+        present when a fault plan enables the protocol).
+    proto_id:
+        Reliable-transport sequence number within the ``(src, dst)``
+        channel (``-1`` when the protocol is off).
+    attempt:
+        Retransmission attempt this copy belongs to (0 = original).
     """
 
     src: int
@@ -52,6 +61,9 @@ class Message:
     seq: int = field(default_factory=lambda: next(_SEQ))
     sent_at: int = -1
     delivered_at: int = -1
+    kind: str = "data"
+    proto_id: int = -1
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -13,10 +13,16 @@ CPU work):
 4. **handoff** — the delivery callback (the MPI matching engine) gets
    the message.
 
-The network is connectionless and reliable, and enforces FIFO delivery
-per (src, dst) pair — a later, smaller message never overtakes an
-earlier, larger one (real fabrics order packets within a virtual
-channel, and MPI's non-overtaking guarantee depends on it).
+The network is connectionless and enforces FIFO delivery per
+(src, dst) pair — a later, smaller message never overtakes an earlier,
+larger one, and two messages on one channel never even share an
+arrival timestamp (real fabrics order packets within a virtual
+channel, and MPI's non-overtaking guarantee depends on it).  It is
+perfectly reliable by default; an optional
+:class:`~repro.faults.FaultPlan` makes the wire lossy — messages can
+be dropped or duplicated, links transiently degraded, and crashed
+nodes unreachable — with recovery delegated to the reliable-transport
+layer above (:mod:`repro.faults.protocol`).
 """
 
 from __future__ import annotations
@@ -31,6 +37,9 @@ from .loggp import LogGPParams
 from .message import Message
 from .nic import NIC
 from .topology import SwitchTopology, Topology
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults import FaultPlan
 
 __all__ = ["Network"]
 
@@ -53,7 +62,8 @@ class Network:
     def __init__(self, env: Environment, nodes: _t.Sequence[Node],
                  params: LogGPParams | None = None,
                  topology: Topology | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 faults: "FaultPlan | None" = None) -> None:
         self.env = env
         self.nodes = list(nodes)
         if not self.nodes:
@@ -65,6 +75,11 @@ class Network:
                 f"topology is sized for {self.topology.n_nodes} nodes but the "
                 f"machine has {len(self.nodes)}")
         self.seed = seed
+        #: Wire-level fault policy (``None`` = perfectly reliable; the
+        #: zero-fault fast path must stay bit-identical, so every fault
+        #: check below is gated on this being set).
+        self.faults = faults if faults is not None and faults.injects_faults \
+            else None
         self.nics = [NIC(env, node, self.params.g) for node in self.nodes]
         for node, nic in zip(self.nodes, self.nics):
             node.nic = nic
@@ -74,11 +89,17 @@ class Network:
         #: Totals for reports.
         self.messages_transferred = 0
         self.bytes_transferred = 0
+        #: Fault counters (all zero on a reliable fabric).
+        self.messages_dropped = 0
+        self.duplicates_injected = 0
+        #: Drops charged to the destination node (unreachable receiver
+        #: diagnostics for the E15 report).
+        self.drops_by_node: dict[int, int] = {}
         #: Per-network injection counter (jitter stream index; the
         #: global Message.seq would leak state across machines built in
         #: the same process and break run-for-run determinism).
         self._injections = 0
-        #: FIFO channel state: (src, dst) -> earliest next arrival time.
+        #: FIFO channel state: (src, dst) -> latest booked arrival time.
         self._channel_clear_at: dict[tuple[int, int], int] = {}
 
     # -- wiring ------------------------------------------------------------
@@ -112,14 +133,58 @@ class Network:
             # Deterministic per-message jitter: same seed, same run.
             wire += derive_seed(self.seed, f"jitter:{self._injections}") % (
                 self.params.jitter_ns + 1)
-        arrival = departure + wire
-        # FIFO per channel: never arrive before an earlier message on
-        # the same (src, dst) pair.
+
+        faults = self.faults
+        duplicate = False
+        if faults is not None:
+            now = self.env.now
+            # A crashed endpoint silently eats the message: the sender
+            # has already paid tx, recovery is the retry protocol's job.
+            if (faults.node_crashed(msg.src, now)
+                    or faults.node_crashed(msg.dst, now)):
+                self._drop(msg)
+                return
+            # Stable per-transmission label: protocol id + attempt (a
+            # retransmission gets a fresh coin flip, a rerun of the
+            # same config gets the same flips; Message.seq would leak
+            # the process-global counter into the decision).
+            uid = f"{msg.kind}/{msg.proto_id}/{msg.attempt}"
+            if faults.drop_message(msg.src, msg.dst, uid):
+                self._drop(msg)
+                return
+            factor = faults.latency_factor(msg.src, msg.dst, now)
+            if factor != 1.0:
+                wire = round(wire * factor)
+            duplicate = faults.duplicate_message(msg.src, msg.dst, uid)
+
+        self._schedule_arrival(msg, departure + wire)
+        if duplicate:
+            # The ghost copy trails the original by one serialization
+            # slot (a retransmit race in a real fabric); the strict
+            # per-channel ordering in _schedule_arrival sequences it.
+            self.duplicates_injected += 1
+            self._schedule_arrival(msg, departure + wire + self.params.g)
+
+    def _schedule_arrival(self, msg: Message, arrival: int) -> None:
+        """Book ``msg`` onto its channel and schedule the arrival event.
+
+        FIFO per channel, strictly: a message never arrives before —
+        or at the same instant as — an earlier message on the same
+        (src, dst) pair.  Equal-timestamp arrivals would otherwise be
+        ordered only by the event-heap tiebreak, which nothing in the
+        delivery path is entitled to rely on.
+        """
         key = (msg.src, msg.dst)
-        arrival = max(arrival, self._channel_clear_at.get(key, 0))
+        prev = self._channel_clear_at.get(key)
+        if prev is not None and arrival <= prev:
+            arrival = prev + 1
         self._channel_clear_at[key] = arrival
         ev = self.env.timeout(arrival - self.env.now, msg)
         ev.callbacks.append(self._on_arrival)
+
+    def _drop(self, msg: Message) -> None:
+        self.messages_dropped += 1
+        self.drops_by_node[msg.dst] = self.drops_by_node.get(msg.dst, 0) + 1
 
     def _on_arrival(self, event) -> None:
         msg: Message = event.value

@@ -15,7 +15,7 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
-from ..sim.rng import RandomTree
+from ..sim.rng import RandomTree, node_seed
 from .base import NoiseSource, NullNoise
 from .burst import BurstNoise
 from .patterns import parse_pattern
@@ -69,16 +69,16 @@ class InjectionPlan:
         """The noise source node ``node_id`` (of ``n_nodes``) runs."""
         if not 0 <= node_id < n_nodes:
             raise ConfigError(f"node_id {node_id} out of range [0, {n_nodes})")
-        node_seed = self.seed * 1_000_003 + node_id
+        seed = node_seed(self.seed, node_id)
         if callable(self.pattern):
             phase = self._phase_for(node_id, n_nodes, self._probe_period())
-            return self.pattern(node_id, phase, node_seed)
-        probe = parse_pattern(self.pattern, seed=node_seed)
+            return self.pattern(node_id, phase, seed)
+        probe = parse_pattern(self.pattern, seed=seed)
         if isinstance(probe, NullNoise):
             return probe
         if isinstance(probe, (PeriodicNoise, BurstNoise)):
             phase = self._phase_for(node_id, n_nodes, probe.period)
-            return parse_pattern(self.pattern, phase=phase, seed=node_seed)
+            return parse_pattern(self.pattern, phase=phase, seed=seed)
         # Stochastic patterns: independence comes from the seed; the
         # alignment knob is meaningless and "synchronized" would be a
         # silent lie, so reject it.

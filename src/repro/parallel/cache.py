@@ -37,7 +37,27 @@ from pathlib import Path
 
 from .. import __version__
 
-__all__ = ["CacheStats", "ResultCache", "config_key", "config_token"]
+__all__ = ["MISS", "CacheStats", "ResultCache", "config_key", "config_token"]
+
+
+class _Miss:
+    """Sentinel type for a cache miss (distinct from any cached value,
+    including a legitimately cached ``None``)."""
+
+    _instance: "_Miss | None" = None
+
+    def __new__(cls) -> "_Miss":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<cache MISS>"
+
+
+#: The miss sentinel: ``cache.get(cfg, MISS) is MISS`` is the reliable
+#: miss test (``None`` is a perfectly cacheable value).
+MISS = _Miss()
 
 
 def config_token(obj: _t.Any) -> _t.Any:
@@ -58,7 +78,13 @@ def config_token(obj: _t.Any) -> _t.Any:
     if isinstance(obj, (list, tuple)):
         return ("seq", [config_token(v) for v in obj])
     if isinstance(obj, (set, frozenset)):
-        return ("set", sorted(str(config_token(v)) for v in obj))
+        # Sort by the JSON encoding (type-aware: 1 -> "1", "1" -> '"1"')
+        # and keep the tokens themselves — sorting/keying by str() would
+        # collapse {1} and {"1"} onto one cache key.
+        members = [config_token(v) for v in obj]
+        members.sort(key=lambda t: json.dumps(t, separators=(",", ":"),
+                                              sort_keys=True))
+        return ("set", members)
     text = repr(obj)
     if " at 0x" in text:  # default object repr leaks the address
         state = getattr(obj, "__dict__", None)
@@ -122,21 +148,26 @@ class ResultCache:
     def _path(self, config: _t.Any) -> Path:
         return self._dir / f"{self.key(config)}.pkl"
 
-    def get(self, config: _t.Any) -> _t.Any | None:
-        """The cached result for ``config``, or ``None`` on a miss."""
+    def get(self, config: _t.Any, default: _t.Any = None) -> _t.Any:
+        """The cached result for ``config``, or ``default`` on a miss.
+
+        Pass :data:`MISS` as the default to distinguish a miss from a
+        cached ``None``/falsy value (the pattern :meth:`get_or_run`
+        uses internally).
+        """
         path = self._path(config)
         try:
             with open(path, "rb") as f:
                 value = pickle.load(f)
         except FileNotFoundError:
             self.stats.misses += 1
-            return None
+            return default
         except (OSError, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError):
             # Torn/corrupt/stale entry: treat as a miss and drop it.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
-            return None
+            return default
         self.stats.hits += 1
         return value
 
@@ -159,9 +190,13 @@ class ResultCache:
 
     def get_or_run(self, config: _t.Any,
                    fn: _t.Callable[[], _t.Any]) -> _t.Any:
-        """Cached value for ``config``, computing and storing on miss."""
-        value = self.get(config)
-        if value is None:
+        """Cached value for ``config``, computing and storing on miss.
+
+        A cached ``None`` (or any falsy value) is served, not
+        recomputed — only a genuine miss runs ``fn``.
+        """
+        value = self.get(config, MISS)
+        if value is MISS:
             value = fn()
             self.put(config, value)
         return value

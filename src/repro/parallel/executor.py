@@ -22,15 +22,15 @@ from __future__ import annotations
 import os
 import time
 import typing as _t
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from ..core.experiment import ExperimentConfig, run_experiment
 from ..core.results import ComparisonResult, RunResult
 from ..errors import ConfigError
-from .cache import ResultCache
+from .cache import MISS, ResultCache
 
-__all__ = ["PointTiming", "SweepStats", "SweepExecutor",
+__all__ = ["PointError", "PointTiming", "SweepStats", "SweepExecutor",
            "normalized_quiet_twin"]
 
 #: Pattern spellings that mean "no injected noise".
@@ -73,6 +73,33 @@ class PointTiming:
     cached: bool
 
 
+@dataclass(frozen=True)
+class PointError:
+    """One sweep point that failed (after its retry) and was isolated.
+
+    Attributes
+    ----------
+    label:
+        Human-readable point label (as used in progress lines).
+    kind:
+        Exception class name (``"FaultError"``, ``"DeadlockError"`` ...).
+    message:
+        Stringified exception.
+    retried:
+        True if the point was re-run (serially) before being declared
+        failed.
+    """
+
+    label: str
+    kind: str
+    message: str
+    retried: bool = False
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return {"label": self.label, "kind": self.kind,
+                "message": self.message, "retried": self.retried}
+
+
 @dataclass
 class SweepStats:
     """What one :meth:`SweepExecutor.run_sweep` call actually did."""
@@ -84,6 +111,9 @@ class SweepStats:
     quiet_cached: int = 0
     noisy_simulated: int = 0
     noisy_cached: int = 0
+    #: Points that failed after retry, in plan order (partial-failure
+    #: isolation: completed points are still returned).
+    errors: list[PointError] = field(default_factory=list)
 
     @property
     def points(self) -> int:
@@ -112,13 +142,20 @@ class SweepStats:
         """Serial-equivalent time over actual wall time."""
         return self.simulated_s / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def failed(self) -> int:
+        """Points that ended in a :class:`PointError`."""
+        return len(self.errors)
+
     def as_dict(self) -> dict[str, _t.Any]:
         return {"workers": self.workers, "points": self.points,
                 "wall_s": self.wall_s, "simulated_s": self.simulated_s,
                 "quiet_simulated": self.quiet_simulated,
                 "quiet_cached": self.quiet_cached,
                 "noisy_simulated": self.noisy_simulated,
-                "noisy_cached": self.noisy_cached}
+                "noisy_cached": self.noisy_cached,
+                "failed": self.failed,
+                "errors": [e.as_dict() for e in self.errors]}
 
 
 class SweepExecutor:
@@ -152,6 +189,9 @@ class SweepExecutor:
             self.cache = ResultCache(cache)
         #: Stats of the most recent :meth:`run_sweep` call.
         self.last_stats: SweepStats | None = None
+        #: Per-point errors of the most recent fan-out, keyed like its
+        #: ``configs`` mapping (empty when every point succeeded).
+        self.last_errors: dict[_t.Any, PointError] = {}
 
     # -- generic fan-out ---------------------------------------------------
     def run_configs(self, configs: _t.Mapping[_t.Any, ExperimentConfig],
@@ -163,14 +203,22 @@ class SweepExecutor:
 
         Cache hits never reach the pool.  The returned dicts iterate in
         ``configs`` order regardless of completion order.
+
+        Failures are isolated, not fatal: a point that raises (in a
+        worker — including a :class:`BrokenExecutor` pool collapse — or
+        in-process) is retried once serially; if it fails again it is
+        recorded in :attr:`last_errors` and omitted from the returned
+        mappings, so one crashed simulation never discards its
+        siblings' completed work.
         """
         labels = labels or {}
         served: dict[_t.Any, RunResult] = {}
         timings: dict[_t.Any, PointTiming] = {}
         pending: dict[_t.Any, ExperimentConfig] = {}
         for key, cfg in configs.items():
-            cached = self.cache.get(cfg) if self.cache is not None else None
-            if cached is not None:
+            cached = (self.cache.get(cfg, MISS)
+                      if self.cache is not None else MISS)
+            if cached is not MISS:
                 served[key] = cached
                 timings[key] = PointTiming(labels.get(key, str(key)), 0.0,
                                            cached=True)
@@ -179,35 +227,64 @@ class SweepExecutor:
             else:
                 pending[key] = cfg
 
+        failed: dict[_t.Any, BaseException] = {}
+
+        def record(key: _t.Any, result: RunResult, elapsed: float) -> None:
+            served[key] = result
+            timings[key] = PointTiming(labels.get(key, str(key)),
+                                       elapsed, cached=False)
+            if progress:
+                progress(f"{labels.get(key, key)} ({elapsed:.2f}s)")
+
         if pending and self.workers == 1:
             for key, cfg in pending.items():
-                result, elapsed = _run_point(cfg)
-                served[key] = result
-                timings[key] = PointTiming(labels.get(key, str(key)),
-                                           elapsed, cached=False)
-                if progress:
-                    progress(f"{labels.get(key, key)} "
-                             f"({elapsed:.2f}s)")
+                try:
+                    result, elapsed = _run_point(cfg)
+                except Exception as exc:
+                    failed[key] = exc
+                    continue
+                record(key, result, elapsed)
         elif pending:
             n_workers = min(self.workers, len(pending))
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 futures = {key: pool.submit(_run_point, cfg)
                            for key, cfg in pending.items()}
                 for key, fut in futures.items():
-                    result, elapsed = fut.result()
-                    served[key] = result
-                    timings[key] = PointTiming(labels.get(key, str(key)),
-                                               elapsed, cached=False)
-                    if progress:
-                        progress(f"{labels.get(key, key)} "
-                                 f"({elapsed:.2f}s)")
+                    try:
+                        result, elapsed = fut.result()
+                    except (Exception, BrokenExecutor) as exc:
+                        # BrokenExecutor: the worker process died (OOM,
+                        # segfault); every sibling future fails too and
+                        # each gets its serial retry below.
+                        failed[key] = exc
+                        continue
+                    record(key, result, elapsed)
+
+        errors: dict[_t.Any, PointError] = {}
+        for key, first_exc in failed.items():
+            label = labels.get(key, str(key))
+            if progress:
+                progress(f"{label} failed "
+                         f"({type(first_exc).__name__}); retrying serially")
+            try:
+                result, elapsed = _run_point(pending[key])
+            except Exception as exc:
+                errors[key] = PointError(label, type(exc).__name__,
+                                         str(exc), retried=True)
+                if progress:
+                    progress(f"{label} failed permanently: {exc}")
+                continue
+            record(key, result, elapsed)
 
         if self.cache is not None:
             for key, cfg in pending.items():
-                self.cache.put(cfg, served[key])
+                if key in served:
+                    self.cache.put(cfg, served[key])
 
-        ordered = {key: served[key] for key in configs}
-        return ordered, {key: timings[key] for key in configs}
+        self.last_errors = {key: errors[key] for key in configs
+                            if key in errors}
+        return ({key: served[key] for key in configs if key in served},
+                {key: timings[key] for key in configs if key in timings})
 
     # -- comparison fan-out ------------------------------------------------
     def run_comparisons(self, configs: _t.Mapping[_t.Any, ExperimentConfig],
@@ -248,12 +325,27 @@ class SweepExecutor:
         stats = SweepStats(workers=self.workers)
         for pkey, timing in timings.items():
             stats.tally(pkey[0], timing)
+        stats.errors = [self.last_errors[k] for k in plan
+                        if k in self.last_errors]
+
+        results: dict[_t.Any, ComparisonResult] = {}
+        for key in configs:
+            twin_key, noisy_key = twin_of[key], ("noisy", key)
+            if twin_key in points and noisy_key in points:
+                results[key] = ComparisonResult(quiet=points[twin_key],
+                                                noisy=points[noisy_key])
+            elif noisy_key in points:
+                # The noisy run survived but its baseline did not, so no
+                # slowdown can be computed — surface that as an error on
+                # this comparison rather than dropping it silently.
+                stats.errors.append(PointError(
+                    labels[noisy_key], "MissingBaseline",
+                    "quiet baseline failed: "
+                    f"{self.last_errors[twin_key].message}"))
+
         stats.wall_s = time.perf_counter() - t0
         self.last_stats = stats
-
-        return {key: ComparisonResult(quiet=points[twin_of[key]],
-                                      noisy=points[("noisy", key)])
-                for key in configs}
+        return results
 
     # -- sweep orchestration -----------------------------------------------
     def run_sweep(self, base: ExperimentConfig, *,
@@ -292,16 +384,30 @@ class SweepExecutor:
         stats = SweepStats(workers=self.workers)
         for key, timing in timings.items():
             stats.tally(key[0], timing)
+        stats.errors = [self.last_errors[k] for k in configs
+                        if k in self.last_errors]
 
         results: dict[tuple[int, str], ComparisonResult | RunResult] = {}
         for p in nodes:
-            quiet = points[("quiet", p)]
+            quiet = points.get(("quiet", p))
             for pattern in patterns:
                 if _is_quiet(pattern):
-                    results[(p, pattern)] = quiet
-                else:
-                    results[(p, pattern)] = ComparisonResult(
-                        quiet=quiet, noisy=points[("noisy", p, pattern)])
+                    if quiet is not None:
+                        results[(p, pattern)] = quiet
+                    continue
+                noisy = points.get(("noisy", p, pattern))
+                if noisy is None:
+                    continue  # already in stats.errors
+                if quiet is None:
+                    # Noisy point survived but its size's quiet baseline
+                    # failed; no slowdown can be formed for it.
+                    stats.errors.append(PointError(
+                        labels[("noisy", p, pattern)], "MissingBaseline",
+                        "quiet baseline failed: "
+                        f"{self.last_errors[('quiet', p)].message}"))
+                    continue
+                results[(p, pattern)] = ComparisonResult(quiet=quiet,
+                                                         noisy=noisy)
 
         stats.wall_s = time.perf_counter() - t0
         self.last_stats = stats

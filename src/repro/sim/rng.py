@@ -19,7 +19,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RandomTree", "derive_seed"]
+__all__ = ["RandomTree", "derive_seed", "derive_fraction", "node_seed"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -33,6 +33,29 @@ def derive_seed(root_seed: int, label: str) -> int:
     """
     digest = hashlib.sha256(f"{root_seed}\x1f{label}".encode()).digest()
     return int.from_bytes(digest[:16], "little")
+
+
+def derive_fraction(root_seed: int, label: str) -> float:
+    """A uniform float in ``[0, 1)`` derived from ``(root_seed, label)``.
+
+    The deterministic, construction-order-insensitive analogue of one
+    ``rng.random()`` draw: the same ``(seed, label)`` pair always maps
+    to the same fraction.  Used for per-event Bernoulli decisions
+    (message drops, duplications) that must be stable across processes
+    and monotone in the threshold — raising a probability threshold can
+    only *add* events, never reshuffle which ones fire.
+    """
+    return (derive_seed(root_seed, label) >> 75) * 2.0 ** -53
+
+
+def node_seed(root_seed: int, node_id: int) -> int:
+    """The per-node seed every per-node stochastic stream derives from.
+
+    One shared formula (rather than each subsystem inventing its own)
+    so noise injection and fault injection on the same node stay
+    decorrelated by *label*, not by luck.
+    """
+    return root_seed * 1_000_003 + node_id
 
 
 class RandomTree:
