@@ -21,6 +21,8 @@ system kernel activity ("noise") on parallel application performance:
   analytic absorption/amplification model, report tables.
 * :mod:`repro.core` — experiment configuration and sweep runners.
 * :mod:`repro.harness` — one module per paper experiment (E1–E10).
+* :mod:`repro.obs` — run telemetry: deterministic metrics registry and
+  Chrome trace-event tracing for the simulator itself (off by default).
 
 Quickstart::
 
@@ -41,7 +43,7 @@ from .errors import (
     TraceError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -31,6 +31,15 @@ independent simulation points over N processes (``--workers 0`` = one
 per CPU; results are bit-identical to serial) and ``--cache DIR`` to
 reuse previously-simulated points — quiet baselines above all — from
 an on-disk result cache (see docs/PERFORMANCE.md).
+
+``run``, ``all``, ``compare``, and ``sweep`` also accept the
+:mod:`repro.obs` telemetry flags: ``--metrics`` collects run counters
+and appends a metrics block to the output, ``--trace out.json``
+additionally records a Chrome trace-event file (open in
+https://ui.perfetto.dev), and ``--trace-categories sim,net,mpi``
+restricts which spans are recorded.  ``stats`` is the quick entry
+point: one comparison with telemetry forced on, printing the full
+registry (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -65,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk result cache directory (reuses "
                             "quiet baselines across invocations)")
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics", action="store_true",
+                       help="collect run telemetry and append a metrics "
+                            "block to the output")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Chrome trace-event JSON to PATH "
+                            "(view in ui.perfetto.dev; implies --metrics)")
+        p.add_argument("--trace-categories", metavar="CATS", default=None,
+                       help="comma-separated trace categories to record "
+                            "(sim,net,mpi,faults,sweep,harness; default: "
+                            "all but the per-event 'sim' firehose; "
+                            "'all' enables everything)")
+
     sub.add_parser("list", help="show experiments, workloads, presets")
 
     p_run = sub.add_parser("run", help="run one harness experiment")
@@ -73,12 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--csv", metavar="PATH",
                        help="also write the table as CSV")
     add_execution_flags(p_run)
+    add_obs_flags(p_run)
 
     p_all = sub.add_parser("all", help="run the whole evaluation")
     p_all.add_argument("--scale", default="small", choices=["small", "full"])
     p_all.add_argument("--markdown", metavar="PATH",
                        help="write the full report (EXPERIMENTS.md style)")
     add_execution_flags(p_all)
+    add_obs_flags(p_all)
 
     p_cmp = sub.add_parser("compare", help="one noisy-vs-quiet comparison")
     p_cmp.add_argument("--app", default="bsp", choices=workload_names())
@@ -92,6 +116,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--faults", metavar="SPEC", default=None,
                        help="fault-injection spec, e.g. "
                             "'drop=0.01,timeout=1ms' ('none' = reliable)")
+    add_obs_flags(p_cmp)
+
+    p_sts = sub.add_parser(
+        "stats", help="one comparison with telemetry on; print the "
+                      "metrics registry")
+    p_sts.add_argument("--app", default="bsp", choices=workload_names())
+    p_sts.add_argument("--nodes", type=int, default=16)
+    p_sts.add_argument("--pattern", default="2.5pct@10Hz")
+    p_sts.add_argument("--kernel", default="lightweight")
+    p_sts.add_argument("--seed", type=int, default=0)
+    p_sts.add_argument("--faults", metavar="SPEC", default=None)
+    p_sts.add_argument("--sim-only", action="store_true",
+                       help="print only the deterministic sim-scoped "
+                            "metrics (no wall-clock values)")
+    p_sts.add_argument("--trace", metavar="PATH", default=None,
+                       help="also write a Chrome trace-event JSON")
+    p_sts.add_argument("--trace-categories", metavar="CATS", default=None)
+    p_sts.set_defaults(metrics=True)
 
     p_chr = sub.add_parser("characterize",
                            help="measure a kernel's noise signature")
@@ -114,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection spec applied to every point")
     p_swp.add_argument("--csv", metavar="PATH")
     add_execution_flags(p_swp)
+    add_obs_flags(p_swp)
     return parser
 
 
@@ -122,6 +165,29 @@ def _apply_execution_flags(args: argparse.Namespace) -> None:
     from .harness import set_execution_policy
 
     set_execution_policy(workers=args.workers, cache=args.cache)
+
+
+def _apply_obs_flags(args: argparse.Namespace) -> None:
+    """Configure process-wide telemetry from --metrics/--trace flags."""
+    from .errors import ConfigError
+    from .obs import runtime as _obs
+
+    trace = getattr(args, "trace", None)
+    categories = getattr(args, "trace_categories", None)
+    if categories and not trace:
+        raise ConfigError("--trace-categories requires --trace PATH")
+    if getattr(args, "metrics", False) or trace:
+        _obs.configure(metrics=True, trace=trace or None,
+                       trace_categories=categories)
+
+
+def _finish_obs(args: argparse.Namespace, out: _t.TextIO) -> None:
+    """Flush the trace file (if tracing was requested) with a receipt."""
+    if getattr(args, "trace", None):
+        from .obs import runtime as _obs
+
+        path, n = _obs.write_trace()
+        out.write(f"trace: {n} events written to {path}\n")
 
 
 def _cmd_list(out: _t.TextIO) -> int:
@@ -138,17 +204,20 @@ def _cmd_list(out: _t.TextIO) -> int:
 
 def _cmd_run(args: argparse.Namespace, out: _t.TextIO) -> int:
     _apply_execution_flags(args)
+    _apply_obs_flags(args)
     report = harness_run_experiment(args.experiment.upper(), args.scale)
-    out.write(report.render())
+    out.write(report.render(include_metrics=args.metrics))
     if args.csv:
         with open(args.csv, "w") as f:
             f.write(report.csv())
         out.write(f"csv written to {args.csv}\n")
+    _finish_obs(args, out)
     return 0 if report.passed else 1
 
 
 def _cmd_all(args: argparse.Namespace, out: _t.TextIO) -> int:
     _apply_execution_flags(args)
+    _apply_obs_flags(args)
     reports = harness_run_all(args.scale,
                               progress=lambda s: out.write(s + "\n"))
     out.write("\n" + render_summary(reports))
@@ -156,10 +225,16 @@ def _cmd_all(args: argparse.Namespace, out: _t.TextIO) -> int:
         with open(args.markdown, "w") as f:
             f.write(render_markdown(reports, scale=args.scale))
         out.write(f"report written to {args.markdown}\n")
+    if args.metrics:
+        from .obs import runtime as _obs
+
+        out.write("\nmetrics:\n" + _obs.registry().render())
+    _finish_obs(args, out)
     return 0 if all(r.passed for r in reports.values()) else 1
 
 
 def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
+    _apply_obs_flags(args)
     cmp = run_with_baseline(ExperimentConfig(
         app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
         alignment=args.alignment, kernel=args.kernel, seed=args.seed,
@@ -181,6 +256,26 @@ def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
                   f"{faults['duplicates_injected']} duplicated, "
                   f"{faults.get('total_duplicates_suppressed', 0)} "
                   "suppressed\n")
+    if args.metrics:
+        from .obs import runtime as _obs
+
+        out.write("\nmetrics:\n" + _obs.registry().render())
+    _finish_obs(args, out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out: _t.TextIO) -> int:
+    from .obs import runtime as _obs
+
+    _apply_obs_flags(args)  # metrics defaults to True for `stats`
+    cmp = run_with_baseline(ExperimentConfig(
+        app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
+        kernel=args.kernel, seed=args.seed, faults=args.faults))
+    out.write(f"{args.app} x{args.nodes} pattern={args.pattern} "
+              f"kernel={args.kernel} seed={args.seed}: "
+              f"slowdown {cmp.slowdown.slowdown_percent:.2f}%\n\n")
+    out.write(_obs.registry().render(sim_only=args.sim_only))
+    _finish_obs(args, out)
     return 0
 
 
@@ -244,6 +339,8 @@ def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
     from .analysis import format_csv
     from .core import sweep_records
 
+    _apply_obs_flags(args)
+
     nodes = [int(x) for x in args.nodes.split(",") if x]
     patterns = [x.strip() for x in args.patterns.split(",") if x.strip()]
     base = ExperimentConfig(app=args.app, kernel=args.kernel, seed=args.seed,
@@ -267,6 +364,11 @@ def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
             f.write(format_csv(keys, [[r.get(k) for k in keys]
                                       for r in records]))
         out.write(f"csv written to {args.csv}\n")
+    if args.metrics:
+        from .obs import runtime as _obs
+
+        out.write("\nmetrics:\n" + _obs.registry().render())
+    _finish_obs(args, out)
     return 0
 
 
@@ -284,6 +386,8 @@ def main(argv: _t.Sequence[str] | None = None,
             return _cmd_all(args, out)
         if args.command == "compare":
             return _cmd_compare(args, out)
+        if args.command == "stats":
+            return _cmd_stats(args, out)
         if args.command == "characterize":
             return _cmd_characterize(args, out)
         if args.command == "sweep":

@@ -122,6 +122,7 @@ def run_experiment(config: ExperimentConfig,
         app.bind_tracer(tracer)
     procs = machine.launch(app)
     machine.run_to_completion(procs)
+    machine.finalize_telemetry()
     meta: dict[str, _t.Any] = {"workload": app.describe(),
                                "kernel": machine.config.kernel_config().name}
     fault_stats = machine.fault_stats()

@@ -134,8 +134,20 @@ class Machine:
     """A fully wired simulated machine ready to run rank programs."""
 
     def __init__(self, config: MachineConfig) -> None:
+        from ..obs import runtime as _obs
+
         self.config = config
-        self.env = Environment()
+        #: Process-wide telemetry switches, captured at build time (the
+        #: machine itself stays pure: nothing here feeds back into
+        #: simulation decisions, so results are identical with
+        #: telemetry on or off).
+        self._obs_metrics = _obs.metrics_enabled()
+        tracer = _obs.tracer()
+        self.tracer = tracer
+        self.env = Environment(
+            metrics=self._obs_metrics,
+            tracer=(tracer if tracer is not None
+                    and tracer.enabled("sim") else None))
         kernel_cfg = config.kernel_config()
         plan = config.injection
         faults = config.faults
@@ -154,10 +166,14 @@ class Machine:
         self.network = Network(self.env, self.nodes,
                                params=config.network_params(),
                                topology=config.build_topology(),
-                               seed=config.seed, faults=faults)
+                               seed=config.seed, faults=faults,
+                               metrics=self._obs_metrics,
+                               tracer=(tracer if tracer is not None
+                                       and tracer.enabled("net") else None))
         self.mpi = MPIWorld(self.env, self.network,
                             reduce_cost_per_byte=config.reduce_cost_per_byte,
-                            faults=faults)
+                            faults=faults, metrics=self._obs_metrics,
+                            tracer=tracer)
 
     # -- convenience accessors ------------------------------------------------
     @property
@@ -210,3 +226,17 @@ class Machine:
         done = self.env.all_of(list(procs))
         self.env.run(until=done)
         return self.env.now
+
+    def finalize_telemetry(self) -> None:
+        """Fold this machine's counters into the global obs registry.
+
+        Idempotent and a no-op unless telemetry is enabled; called by
+        the end-of-run paths (:func:`repro.core.run_experiment`, the
+        collective microbenchmark) once the simulation is done.
+        """
+        if not self._obs_metrics or getattr(self, "_obs_harvested", False):
+            return
+        from ..obs import runtime as _obs
+
+        self._obs_harvested = True
+        _obs.harvest_machine(self)

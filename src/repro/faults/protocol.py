@@ -103,11 +103,14 @@ class ReliableTransport:
     """
 
     def __init__(self, env: "Environment", network: "Network",
-                 plan: FaultPlan) -> None:
+                 plan: FaultPlan, *, tracer: _t.Any = None) -> None:
         self.env = env
         self.network = network
         self.plan = plan
         self.stats = FaultStats()
+        #: ``faults``-category span tracer (retry/suppression instants).
+        self.tracer = (tracer if tracer is not None
+                       and tracer.enabled("faults") else None)
         #: Downstream consumer of fresh data messages.
         self._forward: _t.Callable[[Message], None] | None = None
         #: (src, dst) -> next protocol id for that channel.
@@ -158,6 +161,11 @@ class ReliableTransport:
                 src=msg.src, dst=msg.dst)
         pending.attempt += 1
         self.stats.count(self.stats.retries, msg.src)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "faults", f"retry {msg.src}->{msg.dst}", self.env.now,
+                tid=msg.src, args={"proto_id": msg.proto_id,
+                                   "attempt": pending.attempt})
         retry = Message(src=msg.src, dst=msg.dst, tag=msg.tag,
                         size=msg.size, comm_id=msg.comm_id,
                         src_rank=msg.src_rank, payload=msg.payload,
@@ -177,6 +185,11 @@ class ReliableTransport:
         seen = self._seen.setdefault((msg.src, msg.dst), set())
         if msg.proto_id in seen:
             self.stats.count(self.stats.duplicates_suppressed, msg.dst)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "faults", f"dup suppressed {msg.src}->{msg.dst}",
+                    self.env.now, tid=msg.dst,
+                    args={"proto_id": msg.proto_id})
             return
         seen.add(msg.proto_id)
         assert self._forward is not None

@@ -94,6 +94,10 @@ class ExperimentReport:
     #: Free-form measured quantities quoted in EXPERIMENTS.md.
     findings: dict[str, _t.Any] = field(default_factory=dict)
     notes: str = ""
+    #: Telemetry attached by the registry when :mod:`repro.obs` metrics
+    #: are enabled (per-experiment snapshot delta).  Rendered only when
+    #: explicitly requested so default report bytes never change.
+    metrics: dict[str, _t.Any] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -109,8 +113,13 @@ class ExperimentReport:
     def csv(self) -> str:
         return format_csv(self.headers, self.rows)
 
-    def render(self) -> str:
-        """Full plain-text report."""
+    def render(self, *, include_metrics: bool = False) -> str:
+        """Full plain-text report.
+
+        ``include_metrics`` appends the telemetry block (when one was
+        collected); the default output is byte-identical to pre-obs
+        builds.
+        """
         parts = [self.table()]
         if self.findings:
             parts.append("findings:")
@@ -121,4 +130,8 @@ class ExperimentReport:
             parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
         if self.notes:
             parts.append(f"notes: {self.notes}")
+        if include_metrics and self.metrics:
+            parts.append("metrics:")
+            for key, value in self.metrics.items():
+                parts.append(f"  {key}: {value}")
         return "\n".join(parts) + "\n"

@@ -1,10 +1,20 @@
-"""Experiment registry: look experiments up by id, run them in bulk."""
+"""Experiment registry: look experiments up by id, run them in bulk.
+
+When :mod:`repro.obs` telemetry is enabled, :func:`run_experiment`
+also times each experiment as a harness *phase* (wall clock,
+host-scoped), attaches the per-experiment metrics delta to
+``report.metrics``, and emits a ``harness``-category span per
+experiment into the active trace.
+"""
 
 from __future__ import annotations
 
+import time
 import typing as _t
 
 from ..errors import ConfigError
+from ..obs import runtime as _obs
+from ..obs.metrics import diff_snapshots
 from .base import ExperimentReport, Scale
 from .experiments import (
     e1_ftq_spectra,
@@ -58,7 +68,22 @@ def run_experiment(experiment_id: str, scale: Scale = "small",
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {experiment_ids()}") from None
-    return fn(scale, **kwargs)
+    if not _obs.metrics_enabled():
+        return fn(scale, **kwargs)
+
+    before = _obs.registry().snapshot()
+    t0 = time.perf_counter()
+    report = fn(scale, **kwargs)
+    elapsed = time.perf_counter() - t0
+    _obs.record_phase_seconds(experiment_id, elapsed)
+    tracer = _obs.tracer()
+    if tracer is not None and tracer.enabled("harness"):
+        tracer.host_span("harness", experiment_id, t0, elapsed,
+                         args={"scale": scale})
+    report.metrics = diff_snapshots(before, _obs.registry().snapshot())
+    report.metrics[f"harness.phase_s{{phase={experiment_id}}}"] = round(
+        elapsed, 6)
+    return report
 
 
 def run_all(scale: Scale = "small",

@@ -121,6 +121,7 @@ class CollectiveBenchmark:
 
         procs = machine.launch(program)
         machine.run_to_completion(procs)
+        machine.finalize_telemetry()
         times = np.empty(self.repetitions, dtype=np.int64)
         for rep, per_rank in enumerate(finish):
             start = min(s for s, _ in per_rank.values())

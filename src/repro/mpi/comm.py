@@ -80,15 +80,28 @@ class MPIWorld:
 
     def __init__(self, env: Environment, network: Network, *,
                  reduce_cost_per_byte: float = 0.25,
-                 faults: _t.Any = None) -> None:
+                 faults: _t.Any = None, metrics: bool = False,
+                 tracer: _t.Any = None) -> None:
         self.env = env
         self.network = network
         self.nodes: list[Node] = network.nodes
         self.router = MessageRouter(env, len(self.nodes))
+        #: Telemetry gate for :attr:`op_totals` (set from
+        #: :mod:`repro.obs` by the machine builder).
+        self.metrics = bool(metrics)
+        #: Machine-wide op counts (send/recv/collectives by name),
+        #: harvested into ``mpi.ops_total`` by :mod:`repro.obs`.
+        self.op_totals: dict[str, int] = {}
+        #: Span tracer for collective phases (``mpi`` category).
+        self.tracer = (tracer if tracer is not None
+                       and tracer.enabled("mpi") else None)
         self.transport = None
         if faults is not None and faults.needs_protocol:
             from ..faults import ReliableTransport
-            self.transport = ReliableTransport(env, network, faults)
+            self.transport = ReliableTransport(
+                env, network, faults,
+                tracer=(tracer if tracer is not None
+                        and tracer.enabled("faults") else None))
             self.transport.attach(self.router.deliver)
         else:
             network.on_deliver(self.router.deliver)
@@ -190,6 +203,9 @@ class RankComm:
 
     def _count(self, op: str) -> None:
         self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        if self.world.metrics:
+            totals = self.world.op_totals
+            totals[op] = totals.get(op, 0) + 1
 
     # -- point-to-point -------------------------------------------------------------
     def send(self, dest: int, size: int, *, tag: int = 0,
@@ -244,98 +260,93 @@ class RankComm:
         return _t.cast(Message, msg)
 
     # -- collectives (dispatch into repro.mpi.collectives) ---------------------------
+    def _collective(self, opname: str, algorithm: str,
+                    **kwargs: _t.Any):
+        """Count, tag, and dispatch one collective invocation.
+
+        When an ``mpi``-category tracer is active the returned
+        generator is wrapped so the invocation appears as one span per
+        rank (entry to completion, in simulated time) in the Chrome
+        trace.
+        """
+        from . import collectives
+        self._count(opname)
+        gen = collectives.run(opname, algorithm, self,
+                              self._coll_tag(opname), **kwargs)
+        tracer = self.world.tracer
+        if tracer is None:
+            return gen
+        return self._traced_collective(tracer, opname, gen)
+
+    def _traced_collective(self, tracer: _t.Any, opname: str, gen):
+        start = self.env.now
+        result = yield from gen
+        tracer.complete("mpi", opname, start, self.env.now - start,
+                        tid=self.node_id, args=("rank", self.rank))
+        return result
+
     def barrier(self, *, algorithm: str = "dissemination"):
         """Synchronize all ranks of the communicator."""
-        from . import collectives
-        self._count("barrier")
-        return collectives.run("barrier", algorithm, self,
-                               self._coll_tag("barrier"))
+        return self._collective("barrier", algorithm)
 
     def bcast(self, size: int, *, root: int = 0, payload: _t.Any = None,
               algorithm: str = "binomial"):
         """Broadcast ``size`` bytes from ``root``; returns the payload."""
-        from . import collectives
-        self._count("bcast")
-        return collectives.run("bcast", algorithm, self,
-                               self._coll_tag("bcast"), size=size, root=root,
-                               payload=payload)
+        return self._collective("bcast", algorithm, size=size, root=root,
+                                payload=payload)
 
     def reduce(self, size: int, *, root: int = 0, payload: _t.Any = None,
                op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
                algorithm: str = "binomial"):
         """Reduce to ``root``; non-roots return ``None``."""
-        from . import collectives
-        self._count("reduce")
-        return collectives.run("reduce", algorithm, self,
-                               self._coll_tag("reduce"), size=size, root=root,
-                               payload=payload, op=op)
+        return self._collective("reduce", algorithm, size=size, root=root,
+                                payload=payload, op=op)
 
     def allreduce(self, size: int, *, payload: _t.Any = None,
                   op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
                   algorithm: str = "recursive-doubling"):
         """Reduce + distribute; every rank returns the combined payload."""
-        from . import collectives
-        self._count("allreduce")
-        return collectives.run("allreduce", algorithm, self,
-                               self._coll_tag("allreduce"), size=size,
-                               payload=payload, op=op)
+        return self._collective("allreduce", algorithm, size=size,
+                                payload=payload, op=op)
 
     def gather(self, size: int, *, root: int = 0, payload: _t.Any = None,
                algorithm: str = "binomial"):
         """Gather per-rank payloads to ``root`` (rank-ordered list)."""
-        from . import collectives
-        self._count("gather")
-        return collectives.run("gather", algorithm, self,
-                               self._coll_tag("gather"), size=size, root=root,
-                               payload=payload)
+        return self._collective("gather", algorithm, size=size, root=root,
+                                payload=payload)
 
     def scatter(self, size: int, *, root: int = 0,
                 payloads: _t.Sequence[_t.Any] | None = None,
                 algorithm: str = "binomial"):
         """Scatter one ``size``-byte block from ``root`` to each rank."""
-        from . import collectives
-        self._count("scatter")
-        return collectives.run("scatter", algorithm, self,
-                               self._coll_tag("scatter"), size=size, root=root,
-                               payloads=payloads)
+        return self._collective("scatter", algorithm, size=size, root=root,
+                                payloads=payloads)
 
     def allgather(self, size: int, *, payload: _t.Any = None,
                   algorithm: str = "ring"):
         """All ranks end with every rank's block (rank-ordered list)."""
-        from . import collectives
-        self._count("allgather")
-        return collectives.run("allgather", algorithm, self,
-                               self._coll_tag("allgather"), size=size,
-                               payload=payload)
+        return self._collective("allgather", algorithm, size=size,
+                                payload=payload)
 
     def alltoall(self, size: int, *, payloads: _t.Sequence[_t.Any] | None = None,
                  algorithm: str = "pairwise"):
         """Personalized exchange: block ``i`` goes to rank ``i``."""
-        from . import collectives
-        self._count("alltoall")
-        return collectives.run("alltoall", algorithm, self,
-                               self._coll_tag("alltoall"), size=size,
-                               payloads=payloads)
+        return self._collective("alltoall", algorithm, size=size,
+                                payloads=payloads)
 
     def scan(self, size: int, *, payload: _t.Any = None,
              op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
              algorithm: str = "binomial"):
         """Inclusive prefix reduction: rank r returns op over ranks 0..r."""
-        from . import collectives
-        self._count("scan")
-        return collectives.run("scan", algorithm, self,
-                               self._coll_tag("scan"), size=size,
-                               payload=payload, op=op)
+        return self._collective("scan", algorithm, size=size,
+                                payload=payload, op=op)
 
     def exscan(self, size: int, *, payload: _t.Any = None,
                op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
                algorithm: str = "binomial"):
         """Exclusive prefix reduction (rank 0 returns ``None``)."""
-        from . import collectives
-        self._count("exscan")
-        return collectives.run("exscan", algorithm, self,
-                               self._coll_tag("exscan"), size=size,
-                               payload=payload, op=op)
+        return self._collective("exscan", algorithm, size=size,
+                                payload=payload, op=op)
 
     def reduce_scatter(self, size: int, *,
                        payloads: _t.Sequence[_t.Any] | None = None,
@@ -343,11 +354,8 @@ class RankComm:
                        algorithm: str = "pairwise"):
         """Equal-block reduce-scatter: rank i returns the reduction of
         everyone's block i (``size`` = bytes per block)."""
-        from . import collectives
-        self._count("reduce_scatter")
-        return collectives.run("reduce_scatter", algorithm, self,
-                               self._coll_tag("reduce_scatter"), size=size,
-                               payloads=payloads, op=op)
+        return self._collective("reduce_scatter", algorithm, size=size,
+                                payloads=payloads, op=op)
 
     # -- internals -----------------------------------------------------------------------
     def _coll_tag(self, op: str) -> int:

@@ -28,6 +28,7 @@ layer above (:mod:`repro.faults.protocol`).
 from __future__ import annotations
 
 import typing as _t
+from bisect import bisect_left
 
 from ..errors import ConfigError
 from ..kernel.node import Node
@@ -63,7 +64,8 @@ class Network:
                  params: LogGPParams | None = None,
                  topology: Topology | None = None,
                  seed: int = 0,
-                 faults: "FaultPlan | None" = None) -> None:
+                 faults: "FaultPlan | None" = None,
+                 *, metrics: bool = False, tracer: _t.Any = None) -> None:
         self.env = env
         self.nodes = list(nodes)
         if not self.nodes:
@@ -101,6 +103,23 @@ class Network:
         self._injections = 0
         #: FIFO channel state: (src, dst) -> latest booked arrival time.
         self._channel_clear_at: dict[tuple[int, int], int] = {}
+        #: Telemetry (all gated on ``metrics`` / ``tracer`` so the
+        #: default fabric pays nothing; see :mod:`repro.obs`).
+        self._metrics = bool(metrics)
+        self._tracer = tracer
+        self._inflight = 0
+        #: High-water mark of messages between injection and handoff.
+        self.inflight_peak = 0
+        #: Per-channel pending-arrival counts and their high-water mark.
+        self._channel_pending: dict[tuple[int, int], int] = {}
+        self.channel_backlog_peak = 0
+        #: Inline delivery-latency bucket counters (bounds from
+        #: :data:`repro.obs.metrics.DELIVERY_LATENCY_BOUNDS`, kept as a
+        #: literal here so the network never imports the obs package).
+        self._latency_bounds = (1_000, 10_000, 100_000, 1_000_000,
+                                10_000_000, 100_000_000)
+        self.latency_bucket_counts = [0] * (len(self._latency_bounds) + 1)
+        self.latency_total_ns = 0
 
     # -- wiring ------------------------------------------------------------
     def on_deliver(self, callback: _t.Callable[[Message], None]) -> None:
@@ -179,6 +198,14 @@ class Network:
         if prev is not None and arrival <= prev:
             arrival = prev + 1
         self._channel_clear_at[key] = arrival
+        if self._metrics:
+            self._inflight += 1
+            if self._inflight > self.inflight_peak:
+                self.inflight_peak = self._inflight
+            backlog = self._channel_pending.get(key, 0) + 1
+            self._channel_pending[key] = backlog
+            if backlog > self.channel_backlog_peak:
+                self.channel_backlog_peak = backlog
         ev = self.env.timeout(arrival - self.env.now, msg)
         ev.callbacks.append(self._on_arrival)
 
@@ -188,6 +215,9 @@ class Network:
 
     def _on_arrival(self, event) -> None:
         msg: Message = event.value
+        if self._metrics:
+            key = (msg.src, msg.dst)
+            self._channel_pending[key] -= 1
         handoff_at = self.nics[msg.dst].deliver(msg.size)
         if handoff_at <= self.env.now:
             self._handoff(msg)
@@ -199,4 +229,21 @@ class Network:
         msg.delivered_at = self.env.now
         self.messages_transferred += 1
         self.bytes_transferred += msg.size
+        if self._metrics:
+            self._inflight -= 1
+            latency = msg.delivered_at - msg.sent_at
+            self.latency_total_ns += latency
+            # bisect_left(bounds, x) is the first i with x <= bounds[i]
+            # (== len(bounds) -> the +Inf overflow slot), in C.
+            self.latency_bucket_counts[
+                bisect_left(self._latency_bounds, latency)] += 1
+        if self._tracer is not None:
+            # Static span name: Perfetto aggregates all deliveries into
+            # one row per dst node; src/size live in args.  This runs
+            # once per message, so it allocates the bare minimum: a
+            # single flat args tuple, no f-string, no dict.
+            self._tracer.complete(
+                "net", "msg", msg.sent_at,
+                msg.delivered_at - msg.sent_at, tid=msg.dst,
+                args=("src", msg.src, "size", msg.size, "kind", msg.kind))
         self._deliver_cb(msg)  # type: ignore[misc]

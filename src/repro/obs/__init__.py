@@ -1,0 +1,51 @@
+"""repro.obs — run-telemetry: deterministic metrics + Chrome tracing.
+
+The simulator *models* an observer (:mod:`repro.ktau`); this package
+observes the simulator itself.  Two instruments, one switchboard:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters,
+  gauges, and fixed-bucket histograms fed by instrumentation points in
+  ``sim``, ``net``, ``mpi``, ``faults``, ``parallel``, and ``harness``.
+  Sim-scoped metrics are seed-deterministic; wall-clock quantities are
+  host-scoped and kept out of the deterministic snapshot.
+* :class:`SpanTracer` (:mod:`repro.obs.trace`) — a capped ring buffer
+  of Chrome ``trace_event`` spans (open the JSON in Perfetto), with
+  per-category gating: ``sim``, ``net``, ``mpi``, ``faults``,
+  ``sweep``, ``harness``.
+* :mod:`repro.obs.runtime` — the process-wide on/off switch the CLI
+  drives (``--trace``, ``--trace-categories``, ``--metrics``,
+  ``repro stats``).  Everything is off by default and the disabled
+  path is free; enabling telemetry never changes simulation results.
+
+See docs/OBSERVABILITY.md for the metric catalogue and a Perfetto
+walkthrough.
+"""
+
+from .metrics import (
+    HOST,
+    SIM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+from .runtime import (
+    configure,
+    disable,
+    harvest_machine,
+    metrics_enabled,
+    parse_categories,
+    registry,
+    tracer,
+    write_trace,
+)
+from .trace import DEFAULT_TRACE_CATEGORIES, TRACE_CATEGORIES, SpanTracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "diff_snapshots",
+    "SIM", "HOST",
+    "SpanTracer", "TRACE_CATEGORIES", "DEFAULT_TRACE_CATEGORIES",
+    "configure", "disable", "metrics_enabled", "registry", "tracer",
+    "write_trace", "harvest_machine", "parse_categories",
+]

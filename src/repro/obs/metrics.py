@@ -1,0 +1,261 @@
+"""Deterministic run-telemetry metrics: counters, gauges, histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (the trace half is
+:mod:`repro.obs.trace`).  Every metric carries a **scope**:
+
+* ``"sim"`` — derived purely from simulation state (event counts,
+  simulated time, message totals).  Sim-scoped metrics are
+  deterministic: the same seed produces byte-identical snapshots, a
+  property ``tests/test_determinism.py`` pins down.
+* ``"host"`` — wall-clock measurements (sweep-point timings, experiment
+  phase durations).  These live *outside* the deterministic path and
+  are excluded from ``snapshot(sim_only=True)``.
+
+Metrics are named ``subsystem.quantity`` (``sim.events_processed``,
+``net.bytes_total``, ``exec.cache_hits``) with optional labels; see
+docs/OBSERVABILITY.md for the full catalogue.  Histograms use *fixed*
+bucket bounds chosen at creation, so aggregation across runs never
+re-bins and snapshots stay stable.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ConfigError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "diff_snapshots", "SIM", "HOST"]
+
+#: Metric scopes.
+SIM = "sim"
+HOST = "host"
+_SCOPES = (SIM, HOST)
+
+#: Default histogram bucket upper bounds (ns-ish magnitudes); callers
+#: instrument with bounds suited to their quantity.
+DEFAULT_BUCKETS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+                   100_000_000, 1_000_000_000)
+
+#: Wire delivery-latency bounds (1 us .. 100 ms in decades, ns).  Shared
+#: between the :class:`~repro.net.Network` inline bucket counters and
+#: the registry histogram they are harvested into.
+DELIVERY_LATENCY_BOUNDS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+                           100_000_000)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labelkey(labels: dict[str, _t.Any]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "scope", "value")
+
+    def __init__(self, name: str, labels: Labels, scope: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.scope = scope
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+    def as_value(self) -> _t.Any:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins; :meth:`track_max` keeps
+    the high-water mark instead)."""
+
+    __slots__ = ("name", "labels", "scope", "value")
+
+    def __init__(self, name: str, labels: Labels, scope: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.scope = scope
+        self.value: _t.Any = 0
+
+    def set(self, value: _t.Any) -> None:
+        self.value = value
+
+    def track_max(self, value: _t.Any) -> None:
+        if value > self.value:
+            self.value = value
+
+    def as_value(self) -> _t.Any:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style bucket counts + sum.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the implicit ``+Inf`` overflow bucket.  Bounds are
+    frozen at creation so merged/aggregated snapshots are stable.
+    """
+
+    __slots__ = ("name", "labels", "scope", "bounds", "bucket_counts",
+                 "total", "count")
+
+    def __init__(self, name: str, labels: Labels, scope: str,
+                 bounds: _t.Sequence[int | float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError(
+                f"histogram {name} needs ascending bucket bounds, "
+                f"got {bounds!r}")
+        self.name = name
+        self.labels = labels
+        self.scope = scope
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # + overflow
+        self.total: int | float = 0
+        self.count = 0
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def as_value(self) -> dict[str, _t.Any]:
+        return {"count": self.count, "sum": self.total,
+                "buckets": {("+Inf" if i == len(self.bounds)
+                             else str(self.bounds[i])): c
+                            for i, c in enumerate(self.bucket_counts)}}
+
+
+_Metric = _t.Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in one process.
+
+    One registry serves the whole library (see
+    :func:`repro.obs.runtime.registry`); instrumentation points call
+    ``registry.counter("net.bytes_total").inc(n)`` and the CLI/report
+    layer reads :meth:`snapshot`.  Lookup is by ``(name, labels)``;
+    re-requesting an existing metric with a conflicting type or scope
+    is a :class:`~repro.errors.ConfigError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, Labels], _Metric] = {}
+
+    # -- get-or-create ---------------------------------------------------
+    def _get(self, cls: type, name: str, scope: str,
+             labels: dict[str, _t.Any],
+             bounds: _t.Sequence[int | float] | None = None) -> _t.Any:
+        if scope not in _SCOPES:
+            raise ConfigError(f"metric scope must be one of {_SCOPES}, "
+                              f"got {scope!r}")
+        key = (name, _labelkey(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            if cls is Histogram:
+                metric = Histogram(name, key[1], scope,
+                                   bounds or DEFAULT_BUCKETS)
+            else:
+                metric = cls(name, key[1], scope)
+            self._metrics[key] = metric
+            return metric
+        if type(metric) is not cls or metric.scope != scope:
+            raise ConfigError(
+                f"metric {name}{dict(key[1])} already registered as "
+                f"{type(metric).__name__}/{metric.scope}")
+        return metric
+
+    def counter(self, name: str, scope: str = SIM,
+                **labels: _t.Any) -> Counter:
+        return self._get(Counter, name, scope, labels)
+
+    def gauge(self, name: str, scope: str = SIM, **labels: _t.Any) -> Gauge:
+        return self._get(Gauge, name, scope, labels)
+
+    def histogram(self, name: str, scope: str = SIM,
+                  bounds: _t.Sequence[int | float] | None = None,
+                  **labels: _t.Any) -> Histogram:
+        return self._get(Histogram, name, scope, labels, bounds)
+
+    # -- reading ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self, *, sim_only: bool = False) -> dict[str, _t.Any]:
+        """A sorted, JSON-able view of every metric.
+
+        Keys are ``name`` or ``name{k=v,...}``; values are plain ints /
+        floats (counters, gauges) or bucket dicts (histograms).  With
+        ``sim_only=True`` host-scoped (wall-clock) metrics are dropped,
+        leaving only the deterministic subset.
+        """
+        out: dict[str, _t.Any] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            if sim_only and metric.scope != SIM:
+                continue
+            key = name
+            if labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            out[key] = metric.as_value()
+        return out
+
+    def render(self, *, sim_only: bool = False) -> str:
+        """Plain-text table of :meth:`snapshot` (the ``repro stats``
+        output)."""
+        lines = []
+        for key, value in self.snapshot(sim_only=sim_only).items():
+            if isinstance(value, dict):  # histogram
+                lines.append(f"{key}: count={value['count']} "
+                             f"sum={value['sum']}")
+                for bound, c in value["buckets"].items():
+                    if c:
+                        lines.append(f"  <= {bound}: {c}")
+            elif isinstance(value, float):
+                lines.append(f"{key}: {value:.6g}")
+            else:
+                lines.append(f"{key}: {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI invocations)."""
+        self._metrics.clear()
+
+
+def diff_snapshots(before: _t.Mapping[str, _t.Any],
+                   after: _t.Mapping[str, _t.Any]) -> dict[str, _t.Any]:
+    """What changed between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counter-like numeric values are differenced; histogram values are
+    differenced bucket-by-bucket; metrics absent from ``before`` pass
+    through; unchanged metrics are dropped.  Used by the harness to
+    attach a *per-experiment* metrics block even though the registry is
+    cumulative across a ``run_all``.
+    """
+    out: dict[str, _t.Any] = {}
+    for key, now in after.items():
+        prev = before.get(key)
+        if prev is None:
+            out[key] = now
+            continue
+        if isinstance(now, dict) and isinstance(prev, dict):
+            count = now["count"] - prev["count"]
+            if count:
+                out[key] = {
+                    "count": count, "sum": now["sum"] - prev["sum"],
+                    "buckets": {b: now["buckets"][b] - prev["buckets"].get(b, 0)
+                                for b in now["buckets"]}}
+        elif isinstance(now, (int, float)) and isinstance(prev, (int, float)):
+            if now != prev:
+                out[key] = now - prev
+        elif now != prev:
+            out[key] = now
+    return out

@@ -1,0 +1,206 @@
+"""Ring-buffer span tracer emitting Chrome ``trace_event`` JSON.
+
+The output loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: one *process* row per time domain —
+
+* ``sim``  — simulated time.  Event timestamps are simulated
+  nanoseconds rendered as microseconds (the trace-event unit); one
+  *thread* row per node, so per-node message arrivals, collective
+  phases, and kernel interruptions line up vertically.
+* ``host`` — wall-clock time (sweep points, experiment phases), offset
+  from tracer creation so traces start near zero.
+
+Events are collected in a fixed-capacity **ring buffer**: once ``cap``
+events have been recorded, new events overwrite the oldest and
+``dropped`` counts the overflow.  That bounds both memory and the cost
+of a runaway trace — the observer must never become the perturbation
+it is observing (the paper's own constraint on KTAU).
+
+Three deliberate cost decisions, for the same reason:
+
+* Events are stored as flat tuples of immutables and only rendered to
+  dicts at export time.  A ring of 200k live dicts makes every cyclic
+  GC pass rescan the buffer (measured at ~25% wall-time overhead on
+  collective-heavy runs); tuples of scalars are untracked by the GC
+  after their first collection, so retention is near-free.
+* Recording allocates as little as possible — two tuples per event, no
+  floats (sim timestamps stay integer ns until export), no nested arg
+  pairs.  The allocation *rate* matters more than the per-object cost:
+  every ~700 allocations is a young-gen GC pass that rescans whatever
+  live simulation objects exist, so a chatty recorder taxes the
+  simulator even when the recorder itself is cheap.
+* The ``sim`` category (an instant per dispatched simulator event) is
+  a firehose — millions of events on a full run — so it is excluded
+  from the **default** category set, like Chrome's own
+  ``disabled-by-default-*`` categories.  Opt in with
+  ``--trace-categories all`` (or an explicit list containing ``sim``).
+
+Category filtering happens at the *instrumentation point* via
+:meth:`SpanTracer.enabled`, so a disabled category costs one set
+lookup and no event construction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import typing as _t
+
+from ..errors import ConfigError
+
+__all__ = ["SpanTracer", "TRACE_CATEGORIES", "DEFAULT_TRACE_CATEGORIES"]
+
+#: Every category an instrumentation point may use.
+TRACE_CATEGORIES = ("sim", "net", "mpi", "faults", "sweep", "harness")
+
+#: What ``categories=None`` enables: everything except the per-event
+#: ``sim`` firehose (see module docstring).
+DEFAULT_TRACE_CATEGORIES = ("net", "mpi", "faults", "sweep", "harness")
+
+#: Synthetic pids for the two time domains.
+_SIM_PID = 1
+_HOST_PID = 2
+
+
+def _flatten(args: dict) -> tuple | None:
+    """Dict -> flat (key, value, ...) tuple (the stored-args form)."""
+    if not args:
+        return None
+    flat: list = []
+    for kv in args.items():
+        flat.extend(kv)
+    return tuple(flat)
+
+#: Stored-event tuple layout: ``(ph, cat, name, pid, tid, ts, dur,
+#: args)``.  For sim events (pid 1) ts/dur are integer nanoseconds,
+#: converted to trace-event microseconds at export; host events (pid 2)
+#: store microsecond floats directly.  ``args`` is ``None`` or a flat
+#: ``(key, value, key, value, ...)`` tuple.
+_Stored = tuple
+
+
+class SpanTracer:
+    """Bounded collector of Chrome trace events.
+
+    Parameters
+    ----------
+    categories:
+        Iterable of enabled category names (subset of
+        :data:`TRACE_CATEGORIES`); ``None`` enables
+        :data:`DEFAULT_TRACE_CATEGORIES`.
+    cap:
+        Ring-buffer capacity (hard bound on retained events).
+    """
+
+    def __init__(self, categories: _t.Iterable[str] | None = None,
+                 *, cap: int = 200_000) -> None:
+        if cap <= 0:
+            raise ConfigError(f"trace cap must be > 0, got {cap}")
+        cats = (frozenset(DEFAULT_TRACE_CATEGORIES) if categories is None
+                else frozenset(categories))
+        unknown = cats - frozenset(TRACE_CATEGORIES)
+        if unknown:
+            raise ConfigError(
+                f"unknown trace categories {sorted(unknown)}; "
+                f"valid: {list(TRACE_CATEGORIES)}")
+        self.categories = cats
+        self.cap = cap
+        self._events: list[_Stored] = []
+        self._next = 0  # ring cursor once the buffer is full
+        self.dropped = 0
+        self._t0 = time.perf_counter()
+
+    # -- gating ----------------------------------------------------------
+    def enabled(self, category: str) -> bool:
+        return category in self.categories
+
+    # -- recording -------------------------------------------------------
+    def _push(self, event: _Stored) -> None:
+        if len(self._events) < self.cap:
+            self._events.append(event)
+            return
+        self._events[self._next] = event
+        self._next = (self._next + 1) % self.cap
+        self.dropped += 1
+
+    def complete(self, category: str, name: str, start_ns: int,
+                 duration_ns: int, *, tid: int = 0,
+                 args: _t.Any = None) -> None:
+        """A sim-time span (``X`` event) from ``start_ns`` lasting
+        ``duration_ns`` simulated nanoseconds.
+
+        ``args`` may be a dict or — on hot paths, to skip building a
+        throwaway dict per event — a flat ``(key, value, key, value)``
+        tuple.
+        """
+        if type(args) is dict:
+            args = _flatten(args)
+        self._push(("X", category, name, _SIM_PID, tid, start_ns,
+                    duration_ns, args))
+
+    def instant(self, category: str, name: str, ts_ns: int, *,
+                tid: int = 0, args: _t.Any = None) -> None:
+        """A zero-duration sim-time marker (``i`` event)."""
+        if type(args) is dict:
+            args = _flatten(args)
+        self._push(("i", category, name, _SIM_PID, tid, ts_ns, 0, args))
+
+    def host_span(self, category: str, name: str, start_s: float,
+                  duration_s: float, *, tid: int = 0,
+                  args: _t.Any = None) -> None:
+        """A wall-clock span on the host track; ``start_s`` is an
+        absolute ``time.perf_counter()`` reading."""
+        if type(args) is dict:
+            args = _flatten(args)
+        self._push(("X", category, name, _HOST_PID, tid,
+                    max(0.0, start_s - self._t0) * 1e6, duration_s * 1e6,
+                    args))
+
+    # -- reading ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def _raw(self) -> list[_Stored]:
+        """Retained tuples in record order (ring rotation undone)."""
+        if len(self._events) < self.cap or self._next == 0:
+            return list(self._events)
+        return self._events[self._next:] + self._events[:self._next]
+
+    def events(self) -> list[dict[str, _t.Any]]:
+        """Retained events rendered as Chrome trace-event dicts."""
+        out = []
+        for ph, cat, name, pid, tid, ts, dur, args in self._raw():
+            if pid == _SIM_PID:  # integer ns -> trace-event us
+                ts /= 1e3
+                dur /= 1e3
+            ev: dict[str, _t.Any] = {"ph": ph, "cat": cat, "name": name,
+                                     "pid": pid, "tid": tid, "ts": ts}
+            if ph == "X":
+                ev["dur"] = dur
+            else:  # instant: scope = thread
+                ev["s"] = "t"
+            if args is not None:
+                ev["args"] = dict(zip(args[::2], args[1::2]))
+            out.append(ev)
+        return out
+
+    def to_chrome(self) -> dict[str, _t.Any]:
+        """The complete Chrome ``trace_event`` JSON object."""
+        meta: list[dict[str, _t.Any]] = []
+        for pid, label in ((_SIM_PID, "sim (simulated time)"),
+                           (_HOST_PID, "host (wall clock)")):
+            meta.append({"ph": "M", "pid": pid, "tid": 0,
+                         "name": "process_name",
+                         "args": {"name": label}})
+        return {"traceEvents": meta + self.events(),
+                "displayTimeUnit": "ns",
+                "otherData": {"generator": "repro.obs",
+                              "categories": sorted(self.categories),
+                              "dropped_events": self.dropped}}
+
+    def write(self, path: str) -> int:
+        """Serialize to ``path``; returns the number of events written."""
+        doc = self.to_chrome()
+        with open(path, "w") as f:
+            json.dump(doc, f, separators=(",", ":"))
+        return len(self._events)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from ..core.experiment import ExperimentConfig, run_experiment
 from ..core.results import ComparisonResult, RunResult
 from ..errors import ConfigError
+from ..obs import runtime as _obs
 from .cache import MISS, ResultCache
 
 __all__ = ["PointError", "PointTiming", "SweepStats", "SweepExecutor",
@@ -228,11 +229,20 @@ class SweepExecutor:
                 pending[key] = cfg
 
         failed: dict[_t.Any, BaseException] = {}
+        tracer = _obs.tracer()
+        if tracer is not None and not tracer.enabled("sweep"):
+            tracer = None
 
         def record(key: _t.Any, result: RunResult, elapsed: float) -> None:
             served[key] = result
             timings[key] = PointTiming(labels.get(key, str(key)),
                                        elapsed, cached=False)
+            if tracer is not None:
+                # Span start is approximated as completion minus cost —
+                # exact for serial execution, good enough for pooled
+                # points whose futures are collected in plan order.
+                tracer.host_span("sweep", labels.get(key, str(key)),
+                                 time.perf_counter() - elapsed, elapsed)
             if progress:
                 progress(f"{labels.get(key, key)} ({elapsed:.2f}s)")
 
@@ -283,6 +293,7 @@ class SweepExecutor:
 
         self.last_errors = {key: errors[key] for key in configs
                             if key in errors}
+        _obs.harvest_points(timings.values(), len(self.last_errors))
         return ({key: served[key] for key in configs if key in served},
                 {key: timings[key] for key in configs if key in timings})
 
@@ -345,6 +356,7 @@ class SweepExecutor:
 
         stats.wall_s = time.perf_counter() - t0
         self.last_stats = stats
+        _obs.harvest_sweep_stats(stats)
         return results
 
     # -- sweep orchestration -----------------------------------------------
@@ -411,4 +423,5 @@ class SweepExecutor:
 
         stats.wall_s = time.perf_counter() - t0
         self.last_stats = stats
+        _obs.harvest_sweep_stats(stats)
         return results

@@ -15,6 +15,17 @@ hoisted into locals, the common callback dispatch is inlined instead of
 calling :meth:`~repro.sim.events.Event._run_callbacks`, and
 ``events_processed`` is accumulated locally and written back in one
 batch (read it between ``run()`` calls, not from inside a callback).
+
+Telemetry (:mod:`repro.obs`) hooks in two ways, both free when off:
+
+* ``metrics=True`` counts scheduled events and tracks the heap's
+  high-water mark (one predictable branch per ``schedule()``);
+  cancelled-event discards are counted unconditionally because the
+  cost lands only on the rare cancelled pop.
+* ``tracer`` (a :class:`~repro.obs.SpanTracer`) routes :meth:`run`
+  through a separate instrumented loop emitting one trace instant per
+  processed event — the three fast loops are untouched when it is
+  ``None``.
 """
 
 from __future__ import annotations
@@ -40,9 +51,11 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_seq", "events_processed",
-                 "_live_processes")
+                 "_live_processes", "_metrics",
+                 "events_cancelled", "max_heap_depth", "tracer")
 
-    def __init__(self, initial_time: int = 0) -> None:
+    def __init__(self, initial_time: int = 0, *, metrics: bool = False,
+                 tracer: _t.Any = None) -> None:
         if initial_time < 0:
             raise ValueError("initial_time must be >= 0")
         self._now: int = int(initial_time)
@@ -53,12 +66,35 @@ class Environment:
         self.events_processed: int = 0
         #: Count of live (spawned, not yet terminated) processes.
         self._live_processes: int = 0
+        #: Telemetry gate for the per-schedule counters below.
+        self._metrics = bool(metrics)
+        #: Cancelled events discarded by the pop paths (always counted;
+        #: the increment only runs on the rare cancelled branch).
+        self.events_cancelled: int = 0
+        #: Heap-depth high-water mark (only when ``metrics``).
+        self.max_heap_depth: int = 0
+        #: Optional :class:`~repro.obs.SpanTracer`; when set, ``run()``
+        #: uses an instrumented loop emitting one instant per event.
+        self.tracer = tracer
 
     # -- clock -----------------------------------------------------------
     @property
     def now(self) -> int:
         """Current simulation time in integer nanoseconds."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed onto the queue.
+
+        Every scheduled event is eventually popped (processed or
+        discarded as cancelled) or still sits in the heap, so the total
+        is derived rather than counted — :meth:`schedule` stays free of
+        a per-push increment.  Exact once a ``run()`` has returned (the
+        processed count is written back in one batch).
+        """
+        return (self.events_processed + self.events_cancelled
+                + len(self._queue))
 
     # -- scheduling ------------------------------------------------------
     def schedule(self, event: Event, *, delay: int = 0,
@@ -67,6 +103,8 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        if self._metrics and len(self._queue) > self.max_heap_depth:
+            self.max_heap_depth = len(self._queue)
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
@@ -110,6 +148,7 @@ class Environment:
         while queue:
             when, _prio, _seq, event = heapq.heappop(queue)
             if event._cancelled:
+                self.events_cancelled += 1
                 continue
             self._now = when
             self.events_processed += 1
@@ -125,6 +164,7 @@ class Environment:
         queue = self._queue
         while queue and queue[0][3]._cancelled:
             heapq.heappop(queue)
+            self.events_cancelled += 1
         return queue[0][0] if queue else None
 
     def run(self, until: int | Event | None = None) -> object:
@@ -155,18 +195,41 @@ class Environment:
                 raise SimulationError(f"run(until={stop_time}) is in the past (now={self._now})")
 
         # Hot loop: locals for the heap and heappop, inlined callback
-        # dispatch (the body of Event._run_callbacks), and a batched
-        # events_processed update.  Three specialisations so the
-        # run-to-drain case — the common one — tests nothing per event
-        # beyond the pop itself.
+        # dispatch (the body of Event._run_callbacks), and batched
+        # events_processed / events_cancelled updates.  Three
+        # specialisations so the run-to-drain case — the common one —
+        # tests nothing per event beyond the pop itself; a fourth,
+        # instrumented loop takes over only when a tracer is attached.
         queue = self._queue
         pop = heapq.heappop
         processed = 0
+        discarded = 0
         try:
-            if stop_event is None and stop_time is None:
+            if self.tracer is not None:
+                tr = self.tracer
+                emit = tr.instant
+                while queue:
+                    if stop_time is not None and queue[0][0] >= stop_time:
+                        break
+                    if stop_event is not None and stop_event._processed:
+                        break
+                    when, _prio, _seq, event = pop(queue)
+                    if event._cancelled:
+                        discarded += 1
+                        continue
+                    self._now = when
+                    processed += 1
+                    emit("sim", type(event).__name__, when)
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+            elif stop_event is None and stop_time is None:
                 while queue:
                     when, _prio, _seq, event = pop(queue)
                     if event._cancelled:
+                        discarded += 1
                         continue
                     self._now = when
                     processed += 1
@@ -182,6 +245,7 @@ class Environment:
                         return None
                     when, _prio, _seq, event = pop(queue)
                     if event._cancelled:
+                        discarded += 1
                         continue
                     self._now = when
                     processed += 1
@@ -195,6 +259,7 @@ class Environment:
                 while queue and not stop._processed:
                     when, _prio, _seq, event = pop(queue)
                     if event._cancelled:
+                        discarded += 1
                         continue
                     self._now = when
                     processed += 1
@@ -205,6 +270,7 @@ class Environment:
                             cb(event)
         finally:
             self.events_processed += processed
+            self.events_cancelled += discarded
 
         if stop_event is not None:
             if not stop_event.processed:
@@ -246,6 +312,7 @@ class Environment:
         queue = self._queue
         pop = heapq.heappop
         processed = 0
+        discarded = 0
         try:
             while queue:
                 if max_events is not None and processed >= max_events:
@@ -255,6 +322,7 @@ class Environment:
                         f"t={self._now}ns — runaway workload?")
                 when, _prio, _seq, event = pop(queue)
                 if event._cancelled:
+                    discarded += 1
                     continue
                 self._now = when
                 processed += 1
@@ -265,6 +333,7 @@ class Environment:
                         cb(event)
         finally:
             self.events_processed += processed
+            self.events_cancelled += discarded
 
         if self._live_processes:
             raise DeadlockError(

@@ -1,0 +1,25 @@
+"""Shared pytest plumbing for the repro test suite."""
+
+import pytest
+
+from repro import obs
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.txt from the current code instead "
+             "of comparing against them")
+
+
+@pytest.fixture(autouse=True)
+def _zero_telemetry():
+    """Every test starts and ends with telemetry off.
+
+    The :mod:`repro.obs` switchboard is process-global; a test that
+    configures it must not leak metrics or an active tracer into its
+    neighbours.
+    """
+    obs.disable()
+    yield
+    obs.disable()

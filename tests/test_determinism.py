@@ -1,0 +1,124 @@
+"""Determinism guarantees of the telemetry layer.
+
+The observability layer (:mod:`repro.obs`) must be a strict no-op for
+results: the same seed gives the same report bytes whether telemetry is
+off, metrics are on, or a tracer is recording — and the *sim-scoped*
+metrics themselves are as reproducible as the simulation.  Three axes:
+
+a. two consecutive runs with the same seed;
+b. serial execution vs ``--workers N`` process fan-out;
+c. tracing on vs tracing off.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import ExperimentConfig, sweep_records
+from repro.harness import run_experiment
+
+#: Fast experiments used as report-byte probes (sub-second at small
+#: scale).  E1 drives nodes directly (no machine-level harvest); E15 is
+#: the deep probe that exercises the full metrics path — sim, net, mpi
+#: and faults counters.
+FAST_EXPERIMENTS = ("E1", "E15")
+DEEP_PROBE = "E15"
+
+BSP_SMALL = {"work_ns": 500_000, "iterations": 10}
+
+
+def _run(experiment_id, *, metrics=False, trace=False):
+    """One experiment run under a fresh telemetry configuration.
+
+    Returns ``(report_text, sim_metrics_snapshot)``; telemetry is fully
+    reset afterwards so back-to-back calls are independent.
+    """
+    obs.disable()
+    if metrics or trace:
+        obs.configure(metrics=True, trace=bool(trace) or None)
+    try:
+        report = run_experiment(experiment_id, "small")
+        text = report.render()
+        snap = obs.registry().snapshot(sim_only=True)
+    finally:
+        obs.disable()
+    return text, snap
+
+
+# -- axis (a): run-to-run --------------------------------------------------
+
+def test_same_seed_same_report_and_metrics():
+    first_text, first_snap = _run(DEEP_PROBE, metrics=True)
+    second_text, second_snap = _run(DEEP_PROBE, metrics=True)
+    assert first_text == second_text
+    assert first_snap == second_snap
+    assert first_snap["sim.runs"] > 0  # the probe actually collected
+
+
+@pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+def test_telemetry_is_invisible_in_default_report(experiment_id):
+    off_text, off_snap = _run(experiment_id, metrics=False)
+    on_text, _on_snap = _run(experiment_id, metrics=True)
+    assert off_text == on_text  # byte-identical: telemetry never leaks
+    assert off_snap == {}  # and nothing is collected while disabled
+
+
+# -- axis (b): serial vs worker processes ----------------------------------
+
+def test_serial_and_parallel_sweeps_agree_with_metrics_on():
+    base = ExperimentConfig(app="bsp", seed=7, app_params=BSP_SMALL)
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+
+    obs.disable()
+    obs.configure(metrics=True)
+    try:
+        serial = sweep_records(base, workers=1, **kwargs)
+        serial_snap = obs.registry().snapshot()
+        obs.disable()
+        obs.configure(metrics=True)
+        parallel = sweep_records(base, workers=2, **kwargs)
+        parallel_snap = obs.registry().snapshot()
+    finally:
+        obs.disable()
+
+    blob = lambda records: json.dumps(records, sort_keys=True)  # noqa: E731
+    assert blob(serial) == blob(parallel)
+    # Parent-side executor accounting is identical either way.  (Worker
+    # processes keep their own sim-scope counters — see the fan-out note
+    # in repro/obs/runtime.py — so only exec.* is comparable here.)
+    for key in ("exec.points_total", "exec.cache_hits", "exec.cache_misses",
+                "exec.point_failures"):
+        assert serial_snap[key] == parallel_snap[key], key
+    # 2x2 grid: the quiet column doubles as the shared baselines.
+    assert serial_snap["exec.points_total"] == 4
+
+
+# -- axis (c): tracing on vs off -------------------------------------------
+
+def test_tracing_does_not_perturb_results_or_metrics():
+    plain_text, plain_snap = _run(DEEP_PROBE, metrics=True)
+    traced_text, traced_snap = _run(DEEP_PROBE, metrics=True, trace=True)
+    assert plain_text == traced_text
+    assert plain_snap == traced_snap
+
+
+def test_trace_output_itself_is_deterministic(tmp_path):
+    """Same seed, same trace: sim-scoped span streams are replayable."""
+    docs = []
+    for i in range(2):
+        obs.disable()
+        path = tmp_path / f"t{i}.json"
+        obs.configure(trace=str(path), trace_categories="net,mpi")
+        try:
+            run_experiment(DEEP_PROBE, "small")
+            obs.write_trace()
+        finally:
+            obs.disable()
+        doc = json.loads(path.read_text())
+        # Host-scoped fields (wall timestamps) are nondeterministic;
+        # strip them and compare the sim-time event stream.
+        docs.append([e for e in doc["traceEvents"]
+                     if e.get("pid") == 1 and e["ph"] != "M"])
+    assert docs[0] == docs[1]
+    assert docs[0]  # non-empty stream

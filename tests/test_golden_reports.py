@@ -1,0 +1,54 @@
+"""Golden-report regression tests.
+
+Each golden file under ``tests/golden/`` is the exact ``render()``
+output of one experiment at small scale with telemetry off.  Any
+byte-level drift — a reordered row, a rounding change, telemetry
+leaking into the default report — fails with a unified diff.
+
+When a change is *intentional*, regenerate the goldens::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_reports.py --regen-golden
+"""
+
+import difflib
+import pathlib
+
+import pytest
+
+from repro.harness import run_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: golden file stem -> (experiment id, scale).
+GOLDENS = {
+    "e1_small": ("E1", "small"),
+    "e3_small": ("E3", "small"),
+    "e5_small": ("E5", "small"),
+    "e15_small": ("E15", "small"),
+}
+
+
+@pytest.mark.parametrize("stem", sorted(GOLDENS))
+def test_report_matches_golden(stem, request):
+    experiment_id, scale = GOLDENS[stem]
+    actual = run_experiment(experiment_id, scale).render()
+    path = GOLDEN_DIR / f"{stem}.txt"
+
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        return
+
+    if not path.exists():
+        pytest.fail(f"golden file {path} is missing; generate it with "
+                    f"--regen-golden")
+    expected = path.read_text()
+    if actual != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{stem}.txt", tofile="current output"))
+        pytest.fail(
+            f"{experiment_id} ({scale}) report drifted from its golden "
+            f"copy.\n{diff}\nIf this change is intentional, rerun with "
+            f"--regen-golden to update the golden files.")

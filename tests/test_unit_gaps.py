@@ -1,0 +1,154 @@
+"""Edge-case tests for previously under-covered units.
+
+Targets three gaps the observability work leaned on: the ktau raw-trace
+export (:func:`repro.ktau.export.trace_to_rows`), trace-playback noise
+(:class:`repro.noise.TraceNoise` cyclic tiling and derived stats), and
+the lazy-cancel life cycle of :class:`repro.sim.events.Event` that the
+event-queue accounting in :mod:`repro.obs` depends on.
+"""
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.errors import SimulationError
+from repro.ktau import KtauTracer
+from repro.ktau.export import trace_to_rows
+from repro.noise import NoiseEvent, TraceNoise
+from repro.sim import MS, Environment
+
+
+# -- ktau trace export -------------------------------------------------------
+
+def _traced_run(n_iter=4, work=2 * MS):
+    machine = Machine(MachineConfig(n_nodes=2, kernel="commodity-linux",
+                                    seed=3))
+    tracer = KtauTracer(machine, level="trace")
+
+    def prog(ctx):
+        for _ in range(n_iter):
+            yield from ctx.compute(work)
+            yield from ctx.allreduce(size=8)
+
+    machine.run_to_completion(machine.launch(prog))
+    return machine, tracer
+
+
+def test_trace_to_rows_shape_and_window():
+    machine, tracer = _traced_run()
+    rows = trace_to_rows(tracer, 0, 0, machine.env.now)
+    assert rows
+    assert set(rows[0]) == {"node", "source", "kind", "start_ns",
+                            "duration_ns"}
+    assert all(r["node"] == 0 for r in rows)
+    assert all(r["duration_ns"] > 0 for r in rows)
+    # Rows arrive merged in time order.
+    starts = [r["start_ns"] for r in rows]
+    assert starts == sorted(starts)
+
+    # Restricting the window drops events outside it.
+    mid = machine.env.now // 2
+    head = trace_to_rows(tracer, 0, 0, mid)
+    assert 0 < len(head) < len(rows)
+    assert all(r["start_ns"] < mid for r in head)
+
+
+def test_trace_to_rows_empty_window_and_other_node():
+    machine, tracer = _traced_run()
+    assert trace_to_rows(tracer, 0, 0, 0) == []
+    other = trace_to_rows(tracer, 1, 0, machine.env.now)
+    assert other
+    assert all(r["node"] == 1 for r in other)
+
+
+# -- trace-playback noise ----------------------------------------------------
+
+def test_trace_noise_accepts_noise_events_and_keeps_stable_order():
+    src = TraceNoise([NoiseEvent(100, 20, "x"), (10, 5), (100, 7)])
+    evs = src.events_in(0, 200)
+    assert [(e.start, e.duration) for e in evs] == [(10, 5), (100, 20),
+                                                   (100, 7)]
+    assert all(e.source == "trace" for e in evs)
+
+
+def test_trace_noise_cyclic_tiling_across_cycle_boundaries():
+    src = TraceNoise([(10, 5), (60, 8)], repeat_every=100)
+    # A window spanning three cycles sees each event once per cycle.
+    evs = src.events_in(50, 280)
+    assert [(e.start, e.duration) for e in evs] == [
+        (60, 8), (110, 5), (160, 8), (210, 5), (260, 8)]
+    # Window edges: start is inclusive, end exclusive.
+    assert [(e.start) for e in src.events_in(110, 111)] == [110]
+    assert src.events_in(111, 160) == []
+    assert src.events_in(50, 50) == []
+
+
+def test_trace_noise_utilization_and_rate():
+    src = TraceNoise([(0, 10), (5, 10), (50, 10)], repeat_every=200)
+    # Overlapping events merge: busy time is 15 + 10, not 30.
+    assert src.utilization == pytest.approx(25 / 200)
+    assert src.event_rate_hz == pytest.approx(3 * 1e9 / 200)
+    assert src.max_event_duration() == 10
+
+    once = TraceNoise([(0, 10)])
+    assert once.event_rate_hz == 0.0  # finite trace: no long-run rate
+    assert once.utilization == pytest.approx(1.0)
+
+
+def test_trace_noise_describe():
+    src = TraceNoise([(10, 5), (60, 8)], repeat_every=100, name="replay")
+    d = src.describe()
+    assert d["name"] == "replay"
+    assert d["n_events"] == 2
+    assert d["repeat_every_ns"] == 100
+
+
+# -- lazy event cancellation -------------------------------------------------
+
+def test_cancel_processed_event_raises_and_cancel_is_idempotent():
+    env = Environment()
+    ev = env.timeout(5)
+    ev.cancel()
+    ev.cancel()  # second cancel is a no-op
+    assert ev.cancelled
+
+    done = env.timeout(10)
+    env.run()
+    assert done.processed
+    with pytest.raises(SimulationError):
+        done.cancel()
+
+
+def test_trigger_after_cancel_raises():
+    env = Environment()
+    ev = env.event()
+    ev.cancel()
+    with pytest.raises(SimulationError):
+        ev.succeed("late")
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("late"))
+
+
+def test_cancelled_events_feed_queue_accounting():
+    env = Environment(metrics=True)
+    for _ in range(3):
+        env.timeout(10).cancel()
+    live = env.timeout(20)
+    env.run()
+    assert live.processed
+    assert env.events_processed == 1
+    assert env.events_cancelled == 3
+    # The derived scheduled total covers processed + discarded + queued.
+    assert env.events_scheduled == 4
+    assert len(env._queue) == 0
+
+
+def test_cancelled_callbacks_are_cleared_and_never_run():
+    env = Environment()
+    fired = []
+    ev = env.timeout(10)
+    ev.callbacks.append(lambda e: fired.append("no"))
+    ev.cancel()
+    assert ev.callbacks == []
+    env.run()
+    assert fired == []
+    assert not ev.processed
