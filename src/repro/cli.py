@@ -34,12 +34,20 @@ an on-disk result cache (see docs/PERFORMANCE.md).
 
 ``run``, ``all``, ``compare``, and ``sweep`` also accept the
 :mod:`repro.obs` telemetry flags: ``--metrics`` collects run counters
-and appends a metrics block to the output, ``--trace out.json``
+and appends a metrics block to the output, ``--metrics-json PATH``
+dumps the registry as machine-readable JSON, ``--trace out.json``
 additionally records a Chrome trace-event file (open in
-https://ui.perfetto.dev), and ``--trace-categories sim,net,mpi``
-restricts which spans are recorded.  ``stats`` is the quick entry
-point: one comparison with telemetry forced on, printing the full
-registry (see docs/OBSERVABILITY.md).
+https://ui.perfetto.dev; the ``net.flow`` category draws send→recv
+flow arrows), and ``--trace-categories sim,net,mpi`` restricts which
+spans are recorded.  ``stats`` is the quick entry point: one
+comparison with telemetry forced on, printing the full registry
+(``--json`` for the machine-readable form; see docs/OBSERVABILITY.md).
+
+``compare --critical-path`` additionally records cross-node dependency
+edges, reconstructs both runs' critical paths, and prints the
+per-node/per-source attribution table plus the quiet-vs-noisy diff —
+"who stole the makespan" (E16 validates the attribution against
+planted ground truth).
 """
 
 from __future__ import annotations
@@ -83,9 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(view in ui.perfetto.dev; implies --metrics)")
         p.add_argument("--trace-categories", metavar="CATS", default=None,
                        help="comma-separated trace categories to record "
-                            "(sim,net,mpi,faults,sweep,harness; default: "
-                            "all but the per-event 'sim' firehose; "
-                            "'all' enables everything)")
+                            "(sim,net,net.flow,mpi,faults,sweep,harness; "
+                            "default: all but the per-event 'sim' "
+                            "firehose; 'all' enables everything)")
+        p.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write the metrics registry as JSON to PATH "
+                            "(implies --metrics)")
 
     sub.add_parser("list", help="show experiments, workloads, presets")
 
@@ -116,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--faults", metavar="SPEC", default=None,
                        help="fault-injection spec, e.g. "
                             "'drop=0.01,timeout=1ms' ('none' = reliable)")
+    p_cmp.add_argument("--critical-path", action="store_true",
+                       help="record dependency edges and print the "
+                            "critical-path attribution + quiet-vs-noisy "
+                            "diff (who stole the makespan)")
     add_obs_flags(p_cmp)
 
     p_sts = sub.add_parser(
@@ -130,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sts.add_argument("--sim-only", action="store_true",
                        help="print only the deterministic sim-scoped "
                             "metrics (no wall-clock values)")
+    p_sts.add_argument("--json", action="store_true",
+                       help="emit the stats as machine-readable JSON "
+                            "(config, slowdown, metrics snapshot)")
     p_sts.add_argument("--trace", metavar="PATH", default=None,
                        help="also write a Chrome trace-event JSON")
     p_sts.add_argument("--trace-categories", metavar="CATS", default=None)
@@ -176,18 +194,31 @@ def _apply_obs_flags(args: argparse.Namespace) -> None:
     categories = getattr(args, "trace_categories", None)
     if categories and not trace:
         raise ConfigError("--trace-categories requires --trace PATH")
-    if getattr(args, "metrics", False) or trace:
+    metrics_json = getattr(args, "metrics_json", None)
+    if getattr(args, "metrics", False) or trace or metrics_json:
         _obs.configure(metrics=True, trace=trace or None,
                        trace_categories=categories)
 
 
 def _finish_obs(args: argparse.Namespace, out: _t.TextIO) -> None:
-    """Flush the trace file (if tracing was requested) with a receipt."""
+    """Flush trace / metrics-JSON files (if requested) with receipts."""
     if getattr(args, "trace", None):
         from .obs import runtime as _obs
 
         path, n = _obs.write_trace()
         out.write(f"trace: {n} events written to {path}\n")
+    metrics_json = getattr(args, "metrics_json", None)
+    if metrics_json:
+        import json
+
+        from .obs import runtime as _obs
+
+        snap = _obs.registry().snapshot()
+        with open(metrics_json, "w") as f:
+            json.dump(snap, f, indent=2, sort_keys=True)
+            f.write("\n")
+        out.write(f"metrics: {len(snap)} series written to "
+                  f"{metrics_json}\n")
 
 
 def _cmd_list(out: _t.TextIO) -> int:
@@ -238,7 +269,8 @@ def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
     cmp = run_with_baseline(ExperimentConfig(
         app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
         alignment=args.alignment, kernel=args.kernel, seed=args.seed,
-        isolate_noise=args.isolate_noise, faults=args.faults))
+        isolate_noise=args.isolate_noise, faults=args.faults,
+        critical_path=args.critical_path))
     sd = cmp.slowdown
     out.write(format_table(
         ["app", "nodes", "pattern", "quiet ms", "noisy ms", "slowdown %",
@@ -256,6 +288,18 @@ def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
                   f"{faults['duplicates_injected']} duplicated, "
                   f"{faults.get('total_duplicates_suppressed', 0)} "
                   "suppressed\n")
+    if args.critical_path:
+        from .obs.critpath import (
+            diff_critical_paths,
+            format_critical_path,
+            format_diff,
+        )
+
+        noisy_cp = cmp.noisy.meta["critical_path"]
+        diff = diff_critical_paths(cmp.quiet.meta["critical_path"],
+                                   noisy_cp)
+        out.write("\n" + format_critical_path(noisy_cp) + "\n")
+        out.write("\n" + format_diff(diff) + "\n")
     if args.metrics:
         from .obs import runtime as _obs
 
@@ -271,10 +315,25 @@ def _cmd_stats(args: argparse.Namespace, out: _t.TextIO) -> int:
     cmp = run_with_baseline(ExperimentConfig(
         app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
         kernel=args.kernel, seed=args.seed, faults=args.faults))
-    out.write(f"{args.app} x{args.nodes} pattern={args.pattern} "
-              f"kernel={args.kernel} seed={args.seed}: "
-              f"slowdown {cmp.slowdown.slowdown_percent:.2f}%\n\n")
-    out.write(_obs.registry().render(sim_only=args.sim_only))
+    if args.json:
+        import json
+
+        doc = {
+            "config": {"app": args.app, "nodes": args.nodes,
+                       "pattern": args.pattern, "kernel": args.kernel,
+                       "seed": args.seed, "faults": args.faults},
+            "quiet_makespan_ns": cmp.quiet.makespan_ns,
+            "noisy_makespan_ns": cmp.noisy.makespan_ns,
+            "slowdown_percent": cmp.slowdown.slowdown_percent,
+            "amplification": cmp.slowdown.amplification,
+            "metrics": _obs.registry().snapshot(sim_only=args.sim_only),
+        }
+        out.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(f"{args.app} x{args.nodes} pattern={args.pattern} "
+                  f"kernel={args.kernel} seed={args.seed}: "
+                  f"slowdown {cmp.slowdown.slowdown_percent:.2f}%\n\n")
+        out.write(_obs.registry().render(sim_only=args.sim_only))
     _finish_obs(args, out)
     return 0
 

@@ -58,6 +58,12 @@ class ExperimentConfig:
         compact spec string (``"drop=0.01,timeout=1ms"``, see
         :func:`~repro.faults.parse_faults`), or ``None`` for the
         perfectly reliable machine (the default).
+    critical_path:
+        Record cross-node dependency edges and attach the critical-path
+        attribution (:meth:`repro.obs.CriticalPathResult.as_dict`) to
+        ``RunResult.meta["critical_path"]``.  Off by default (the
+        recorder is never built); recording is passive, so makespans
+        and iteration timings are byte-identical either way.
     """
 
     app: str = "bsp"
@@ -73,6 +79,7 @@ class ExperimentConfig:
     seed: int = 0
     isolate_noise: bool = False
     faults: FaultPlan | str | None = None
+    critical_path: bool = False
 
     def injected_utilization(self) -> float:
         """Nominal utilization of the injected pattern (0 for quiet)."""
@@ -94,7 +101,8 @@ class ExperimentConfig:
                              network=self.network, topology=self.topology,
                              injection=injection, seed=self.seed,
                              isolate_noise=self.isolate_noise,
-                             faults=self.fault_plan())
+                             faults=self.fault_plan(),
+                             critical_path=self.critical_path)
 
     def quiet_twin(self) -> "ExperimentConfig":
         """The same experiment with no injected noise."""
@@ -128,6 +136,8 @@ def run_experiment(config: ExperimentConfig,
     fault_stats = machine.fault_stats()
     if fault_stats is not None:
         meta["faults"] = fault_stats
+    if machine.critpath is not None:
+        meta["critical_path"] = machine.critical_path().as_dict()
     result = RunResult(
         app=config.app, n_nodes=config.nodes, pattern=config.noise_pattern,
         seed=config.seed, makespan_ns=app.makespan_ns(),

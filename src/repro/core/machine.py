@@ -76,6 +76,14 @@ class MachineConfig:
         slowed or crashed nodes, with ack/retry recovery at the MPI
         point-to-point layer.  ``None`` (the default) is the perfectly
         reliable machine, bit-identical to pre-fault builds.
+    critical_path:
+        Record cross-node dependency edges (receive waits, transient
+        steals, retransmissions, rank start/finish) so
+        :meth:`Machine.critical_path` can reconstruct and attribute
+        the makespan's critical path.  Off by default; recording is
+        passive and never changes simulation results.  The process-
+        wide ``obs.configure(critical_path=True)`` switch enables it
+        for every machine regardless of this field.
     """
 
     n_nodes: int = 4
@@ -89,6 +97,7 @@ class MachineConfig:
     #: node id -> relative clock rate for degraded ("sick") nodes.
     slow_nodes: _t.Mapping[int, float] | None = None
     faults: FaultPlan | None = None
+    critical_path: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -169,11 +178,20 @@ class Machine:
                                seed=config.seed, faults=faults,
                                metrics=self._obs_metrics,
                                tracer=(tracer if tracer is not None
-                                       and tracer.enabled("net") else None))
+                                       and (tracer.enabled("net")
+                                            or tracer.enabled("net.flow"))
+                                       else None))
+        #: Cross-node dependency recorder for critical-path
+        #: attribution; built only when asked for (config field or the
+        #: process-wide obs switch) so the default machine stays free.
+        self.critpath = None
+        if config.critical_path or _obs.critpath_enabled():
+            from ..obs.critpath import DependencyRecorder
+            self.critpath = DependencyRecorder(self.env, self.nodes)
         self.mpi = MPIWorld(self.env, self.network,
                             reduce_cost_per_byte=config.reduce_cost_per_byte,
                             faults=faults, metrics=self._obs_metrics,
-                            tracer=tracer)
+                            tracer=tracer, critpath=self.critpath)
 
     # -- convenience accessors ------------------------------------------------
     @property
@@ -210,16 +228,37 @@ class Machine:
         """Spawn ``program`` on every rank (or the given subset)."""
         comm = comm or self.mpi.world
         which = range(comm.size) if ranks is None else ranks
+        recorder = self.critpath
         procs = []
         for rank in which:
             ctx = self.mpi.rank_context(rank, comm)
-            procs.append(self.env.process(program(ctx),
-                                          name=f"rank{rank}"))
+            proc = self.env.process(program(ctx), name=f"rank{rank}")
+            if recorder is not None:
+                node_id = comm.node(rank)
+                recorder.note_start(node_id)
+                proc.callbacks.append(
+                    lambda _e, n=node_id: recorder.note_completion(n))
+            procs.append(proc)
         return procs
 
     def run(self, until: int | Process | None = None) -> object:
         """Drive the simulation (see :meth:`repro.sim.Environment.run`)."""
         return self.env.run(until=until)
+
+    def critical_path(self):
+        """Reconstruct the completed run's critical path.
+
+        Returns a :class:`repro.obs.CriticalPathResult`; requires the
+        machine to have been built with ``critical_path=True`` (or the
+        process-wide obs switch) and run to completion.
+        """
+        if self.critpath is None:
+            raise ConfigError(
+                "critical-path recording is off; build the machine with "
+                "MachineConfig(critical_path=True) or call "
+                "obs.configure(critical_path=True) first")
+        from ..obs.critpath import compute_critical_path
+        return compute_critical_path(self.critpath)
 
     def run_to_completion(self, procs: _t.Sequence[Process]) -> int:
         """Run until every given process finishes; returns finish time."""

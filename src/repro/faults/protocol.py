@@ -103,7 +103,8 @@ class ReliableTransport:
     """
 
     def __init__(self, env: "Environment", network: "Network",
-                 plan: FaultPlan, *, tracer: _t.Any = None) -> None:
+                 plan: FaultPlan, *, tracer: _t.Any = None,
+                 recorder: _t.Any = None) -> None:
         self.env = env
         self.network = network
         self.plan = plan
@@ -111,6 +112,10 @@ class ReliableTransport:
         #: ``faults``-category span tracer (retry/suppression instants).
         self.tracer = (tracer if tracer is not None
                        and tracer.enabled("faults") else None)
+        #: Cross-node dependency recorder: first-transmission times and
+        #: retransmissions, so the critical-path walk can charge retry
+        #: stalls to the fault layer (``None`` = recording off).
+        self.recorder = recorder
         #: Downstream consumer of fresh data messages.
         self._forward: _t.Callable[[Message], None] | None = None
         #: (src, dst) -> next protocol id for that channel.
@@ -137,6 +142,8 @@ class ReliableTransport:
         msg.attempt = 0
         pending = _Pending(msg)
         self._pending[(msg.src, msg.dst, pid)] = pending
+        if self.recorder is not None:
+            self.recorder.record_send(msg)
         self.network.inject(msg)
         self._arm_timer(pending)
 
@@ -172,6 +179,8 @@ class ReliableTransport:
                         kind=DATA_KIND, proto_id=msg.proto_id,
                         attempt=pending.attempt)
         pending.msg = retry
+        if self.recorder is not None:
+            self.recorder.record_retry(retry)
         self.network.inject(retry)
         self._arm_timer(pending)
 

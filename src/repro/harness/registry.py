@@ -32,6 +32,7 @@ from .experiments import (
     e13_network_substrate,
     e14_indirect_vs_direct,
     e15_fault_resilience,
+    e16_critical_path,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
@@ -46,6 +47,7 @@ _MODULES = (
     e13_network_substrate,
     e14_indirect_vs_direct,
     e15_fault_resilience,
+    e16_critical_path,
 )
 
 #: id -> (title, run callable).

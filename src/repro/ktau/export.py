@@ -15,28 +15,43 @@ from .tracer import KtauTracer
 __all__ = ["profile_to_rows", "profile_to_csv", "intervals_to_rows",
            "trace_to_rows"]
 
+#: Column order shared by :func:`profile_to_rows` (dict key order) and
+#: :func:`profile_to_csv` (header row, including the empty-profile
+#: header-only case) — one definition so they cannot drift apart.
+_PROFILE_COLUMNS = ("node", "source", "kind", "count", "total_ns",
+                    "mean_ns", "min_ns", "max_ns", "pct_of_window")
+
 
 def profile_to_rows(profile: NodeKernelProfile) -> list[dict[str, _t.Any]]:
-    """One dict per profile entry, with derived percentages."""
+    """One dict per profile entry, with derived percentages.
+
+    A non-positive observation window makes ``pct_of_window``
+    meaningless; it is reported as 0.0 rather than dividing by zero
+    (or by a negative span from a reversed window).
+    """
     window = profile.window_ns
     rows = []
     for e in profile.entries:
+        pct = round(100 * e.total_ns / window, 4) if window > 0 else 0.0
         rows.append({
             "node": profile.node, "source": e.source, "kind": e.kind,
             "count": e.count, "total_ns": e.total_ns,
             "mean_ns": round(e.mean_ns, 1), "min_ns": e.min_ns,
             "max_ns": e.max_ns,
-            "pct_of_window": round(100 * e.total_ns / window, 4) if window else 0.0,
+            "pct_of_window": pct,
         })
     return rows
 
 
 def profile_to_csv(profile: NodeKernelProfile) -> str:
-    """CSV rendering of :func:`profile_to_rows`."""
+    """CSV rendering of :func:`profile_to_rows`.
+
+    An empty profile (quiet node, or a window with no kernel events)
+    yields a header-only CSV with the same columns as the populated
+    form, so downstream parsers see a stable schema either way.
+    """
     rows = profile_to_rows(profile)
-    if not rows:
-        return "node,source,kind,count,total_ns,mean_ns,min_ns,max_ns,pct_of_window\n"
-    headers = list(rows[0].keys())
+    headers = list(_PROFILE_COLUMNS)
     return format_csv(headers, [[r[h] for h in headers] for r in rows])
 
 
@@ -60,7 +75,14 @@ def intervals_to_rows(tracer: KtauTracer, node_id: int,
 
 def trace_to_rows(tracer: KtauTracer, node_id: int, start: int,
                   end: int) -> list[dict[str, _t.Any]]:
-    """Raw merged kernel event list for a window."""
+    """Raw merged kernel event list for a window.
+
+    An empty or reversed window (``end <= start``) contains no events;
+    it short-circuits to ``[]`` instead of asking the background-noise
+    reconstruction to enumerate a negative span.
+    """
+    if end <= start:
+        return []
     return [{"node": r.node, "source": r.source, "kind": r.kind,
              "start_ns": r.start, "duration_ns": r.duration}
             for r in tracer.kernel_events_between(node_id, start, end)]

@@ -30,16 +30,23 @@ from ..kernel.node import Node
 from ..net.message import Message
 from ..net.network import Network
 from ..sim import Environment, Event
-from .constants import ANY_SOURCE, ANY_TAG, COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_WINDOW
+from .constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_OPS,
+    COLLECTIVE_TAG_BASE,
+    COLLECTIVE_TAG_WINDOW,
+)
 from .matching import MessageRouter
 from .request import Request
 
 __all__ = ["Communicator", "MPIWorld", "RankComm"]
 
-#: Stable per-operation offsets inside the collective tag space.
-_COLL_OPS = ("barrier", "bcast", "reduce", "allreduce", "gather",
-             "scatter", "allgather", "alltoall", "scan", "exscan",
-             "reduce_scatter")
+#: Stable per-operation offsets inside the collective tag space (the
+#: table lives in :mod:`repro.mpi.constants` so tag consumers — the
+#: critical-path recorder's :func:`~repro.mpi.constants.op_from_tag` —
+#: can invert the layout without importing this module).
+_COLL_OPS = COLLECTIVE_OPS
 #: Tag sub-slots one collective invocation may use for internal phases.
 _PHASES_PER_CALL = 8
 
@@ -81,7 +88,7 @@ class MPIWorld:
     def __init__(self, env: Environment, network: Network, *,
                  reduce_cost_per_byte: float = 0.25,
                  faults: _t.Any = None, metrics: bool = False,
-                 tracer: _t.Any = None) -> None:
+                 tracer: _t.Any = None, critpath: _t.Any = None) -> None:
         self.env = env
         self.network = network
         self.nodes: list[Node] = network.nodes
@@ -95,13 +102,18 @@ class MPIWorld:
         #: Span tracer for collective phases (``mpi`` category).
         self.tracer = (tracer if tracer is not None
                        and tracer.enabled("mpi") else None)
+        #: Cross-node dependency recorder
+        #: (:class:`repro.obs.DependencyRecorder`) — ``None`` unless
+        #: critical-path recording is enabled for this machine.
+        self.critpath = critpath
         self.transport = None
         if faults is not None and faults.needs_protocol:
             from ..faults import ReliableTransport
             self.transport = ReliableTransport(
                 env, network, faults,
                 tracer=(tracer if tracer is not None
-                        and tracer.enabled("faults") else None))
+                        and tracer.enabled("faults") else None),
+                recorder=critpath)
             self.transport.attach(self.router.deliver)
         else:
             network.on_deliver(self.router.deliver)
@@ -245,9 +257,15 @@ class RankComm:
         self._count("recv")
         ev = self.world.router.post_recv(self.node_id, self.comm.comm_id,
                                          source, tag)
+        recorder = self.world.critpath
+        if recorder is None:
+            return Request(
+                self.env, ev, cpu=self.node.cpu,
+                completion_work=self.world.network.recv_overhead_work(),
+                kind="recv")
         return Request(self.env, ev, cpu=self.node.cpu,
                        completion_work=self.world.network.recv_overhead_work(),
-                       kind="recv")
+                       kind="recv", recorder=recorder, node_id=self.node_id)
 
     def sendrecv(self, dest: int, source: int, size: int, *,
                  recv_size: int | None = None, tag: int = 0,

@@ -14,3 +14,25 @@ COLLECTIVE_TAG_BASE: int = 1 << 20
 #: Collective tags cycle within this window per operation type, which
 #: bounds the tag space while keeping back-to-back collectives distinct.
 COLLECTIVE_TAG_WINDOW: int = 1 << 10
+
+#: Stable per-operation offsets inside the collective tag space (the
+#: tag layout is ``BASE + index(op) * WINDOW + phase slots``).
+COLLECTIVE_OPS: tuple[str, ...] = (
+    "barrier", "bcast", "reduce", "allreduce", "gather",
+    "scatter", "allgather", "alltoall", "scan", "exscan",
+    "reduce_scatter")
+
+
+def op_from_tag(tag: int) -> str:
+    """Operation label encoded in a wire tag (``"p2p"`` for app tags).
+
+    Inverts :meth:`RankComm._coll_tag`'s layout, so consumers (the
+    critical-path recorder above all) can label traffic without any
+    per-call bookkeeping on the send/recv hot path.
+    """
+    if tag < COLLECTIVE_TAG_BASE:
+        return "p2p"
+    index = (tag - COLLECTIVE_TAG_BASE) // COLLECTIVE_TAG_WINDOW
+    if 0 <= index < len(COLLECTIVE_OPS):
+        return COLLECTIVE_OPS[index]
+    return "collective"  # out-of-table tag: still reserved space

@@ -22,17 +22,28 @@ __all__ = ["Request", "wait_all"]
 
 
 class Request:
-    """Handle for an in-flight non-blocking operation."""
+    """Handle for an in-flight non-blocking operation.
+
+    ``recorder``/``node_id``/``op`` plumb the cross-node dependency
+    recorder (:class:`repro.obs.DependencyRecorder`) into the wait
+    path: every completed receive is a causal edge from the sender's
+    injection to this rank's resumption.  ``recorder`` is ``None``
+    unless critical-path recording is enabled, so the default path
+    pays one ``is None`` test.
+    """
 
     def __init__(self, env: Environment, event: Event, *,
                  cpu: "CPU | None" = None, completion_work: int = 0,
-                 kind: str = "recv") -> None:
+                 kind: str = "recv", recorder: _t.Any = None,
+                 node_id: int = -1) -> None:
         self.env = env
         self.event = event
         self._cpu = cpu
         self._completion_work = completion_work
         self.kind = kind
         self._consumed = False
+        self._recorder = recorder
+        self._node_id = node_id
 
     def test(self) -> bool:
         """True if the operation has completed (wait() will not block
@@ -49,7 +60,13 @@ class Request:
         if self._consumed:
             raise MPIError("request waited twice")
         self._consumed = True
-        value = yield self.event
+        if self._recorder is not None and self.kind == "recv":
+            start = self.env.now
+            value = yield self.event
+            self._recorder.record_wait(self._node_id, start, self.env.now,
+                                       _t.cast(Message, value))
+        else:
+            value = yield self.event
         if self._completion_work and self._cpu is not None:
             yield from self._cpu.compute(self._completion_work)
         if self.kind == "recv":

@@ -104,9 +104,13 @@ class Network:
         #: FIFO channel state: (src, dst) -> latest booked arrival time.
         self._channel_clear_at: dict[tuple[int, int], int] = {}
         #: Telemetry (all gated on ``metrics`` / ``tracer`` so the
-        #: default fabric pays nothing; see :mod:`repro.obs`).
+        #: default fabric pays nothing; see :mod:`repro.obs`).  Spans
+        #: (``net``) and flow arrows (``net.flow``) gate independently.
         self._metrics = bool(metrics)
         self._tracer = tracer
+        self._trace_spans = tracer is not None and tracer.enabled("net")
+        self._trace_flows = (tracer is not None
+                             and tracer.enabled("net.flow"))
         self._inflight = 0
         #: High-water mark of messages between injection and handoff.
         self.inflight_peak = 0
@@ -237,7 +241,7 @@ class Network:
             # (== len(bounds) -> the +Inf overflow slot), in C.
             self.latency_bucket_counts[
                 bisect_left(self._latency_bounds, latency)] += 1
-        if self._tracer is not None:
+        if self._trace_spans:
             # Static span name: Perfetto aggregates all deliveries into
             # one row per dst node; src/size live in args.  This runs
             # once per message, so it allocates the bare minimum: a
@@ -246,4 +250,17 @@ class Network:
                 "net", "msg", msg.sent_at,
                 msg.delivered_at - msg.sent_at, tid=msg.dst,
                 args=("src", msg.src, "size", msg.size, "kind", msg.kind))
+        if self._trace_flows:
+            # One arrow per handoff, sender track -> receiver track —
+            # deliberately *not* keyed on Message.seq: a duplicated
+            # wire copy hands the same Message off twice, and each
+            # handoff needs a unique arrow.  The finish binds to the
+            # end of the enclosing delivery span (bp:"e"), so in
+            # Perfetto the arrow lands on the "msg" slice emitted just
+            # above.
+            fid = self._tracer.next_flow_id()
+            self._tracer.flow_start("net.flow", "msg", msg.sent_at, fid,
+                                    tid=msg.src)
+            self._tracer.flow_finish("net.flow", "msg", msg.delivered_at,
+                                     fid, tid=msg.dst)
         self._deliver_cb(msg)  # type: ignore[misc]

@@ -16,11 +16,27 @@ observes the simulator itself.  Two instruments, one switchboard:
   drives (``--trace``, ``--trace-categories``, ``--metrics``,
   ``repro stats``).  Everything is off by default and the disabled
   path is free; enabling telemetry never changes simulation results.
+* :mod:`repro.obs.critpath` — the cross-node critical-path tracer:
+  a :class:`DependencyRecorder` of causal MPI/network edges plus a
+  backward walk (:func:`compute_critical_path`) that charges every
+  nanosecond of the makespan to a named kernel activity, injected
+  noise source, network time, retransmission stalls, or genuine
+  compute — the "who stole the makespan" table E16 validates.
 
 See docs/OBSERVABILITY.md for the metric catalogue and a Perfetto
 walkthrough.
 """
 
+from .critpath import (
+    CriticalPathResult,
+    DependencyRecorder,
+    PathSegment,
+    WaitRecord,
+    compute_critical_path,
+    diff_critical_paths,
+    format_critical_path,
+    format_diff,
+)
 from .metrics import (
     HOST,
     SIM,
@@ -32,6 +48,7 @@ from .metrics import (
 )
 from .runtime import (
     configure,
+    critpath_enabled,
     disable,
     harvest_machine,
     metrics_enabled,
@@ -46,6 +63,10 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "diff_snapshots",
     "SIM", "HOST",
     "SpanTracer", "TRACE_CATEGORIES", "DEFAULT_TRACE_CATEGORIES",
-    "configure", "disable", "metrics_enabled", "registry", "tracer",
-    "write_trace", "harvest_machine", "parse_categories",
+    "DependencyRecorder", "WaitRecord", "PathSegment",
+    "CriticalPathResult", "compute_critical_path", "diff_critical_paths",
+    "format_critical_path", "format_diff",
+    "configure", "disable", "metrics_enabled", "critpath_enabled",
+    "registry", "tracer", "write_trace", "harvest_machine",
+    "parse_categories",
 ]

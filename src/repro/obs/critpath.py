@@ -1,0 +1,472 @@
+"""Cross-node critical-path reconstruction and slowdown attribution.
+
+The paper's central claim is causal: kernel activity on *one* node
+explains slowdown of the *whole* application, because collectives
+serialize every rank behind the last arriver.  Per-node attribution
+(:mod:`repro.ktau.attribution`) measures the local theft; this module
+follows the theft across the machine.  Two pieces:
+
+* :class:`DependencyRecorder` — a passive, per-machine recorder of the
+  causal edges that matter: every completed receive wait (which covers
+  point-to-point traffic *and* every collective round, since the
+  collectives are built from send/recv), every transient CPU steal
+  (NIC receive processing etc.), first-transmission times for
+  retransmitted messages, and per-node program start/finish times.  It
+  is attached by :class:`~repro.core.Machine` only when critical-path
+  recording is enabled, so the default machine pays nothing.
+* :func:`compute_critical_path` — an offline backward walk from the
+  last-finishing rank.  At each step the path is either *executing*
+  locally (charged nanosecond-by-nanosecond to the kernel activities
+  and injected noise overlapping the window, remainder = genuine
+  ``compute``), or *gated* on a message (a ``network`` segment from
+  injection to delivery on the wire, jumping the walk to the sender),
+  optionally preceded by a ``fault-retries`` segment when the arriving
+  copy was a retransmission.  Segments telescope: their durations sum
+  *exactly* to the walk's end time minus its origin, which is the
+  property E16 verifies against the measured makespan.
+
+The output is a :class:`CriticalPathResult` — the per-node, per-source
+"who stole the makespan" table — and :func:`diff_critical_paths`, the
+quiet-vs-noisy comparison that charges a makespan *gap* to named
+sources.
+
+Determinism: everything recorded is simulation state, so the edge set,
+the walk, and the resulting tables are exact functions of the seed —
+reproducible across reruns and across ``--workers`` process fan-out
+(the result rides back to the parent as a plain dict in
+``RunResult.meta``).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..mpi.constants import op_from_tag
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..kernel.node import Node
+    from ..net.message import Message
+    from ..sim import Environment
+
+__all__ = ["WaitRecord", "DependencyRecorder", "PathSegment",
+           "CriticalPathResult", "compute_critical_path",
+           "diff_critical_paths", "format_critical_path", "format_diff",
+           "SOURCE_NETWORK", "SOURCE_RETRY", "SOURCE_COMPUTE"]
+
+#: Structural charge buckets (everything else is a named kernel
+#: activity or injected-noise source, i.e. *noise*).
+SOURCE_NETWORK = "network"
+SOURCE_RETRY = "fault-retries"
+SOURCE_COMPUTE = "compute"
+_STRUCTURAL = frozenset((SOURCE_NETWORK, SOURCE_RETRY, SOURCE_COMPUTE))
+
+
+@dataclass(slots=True)
+class WaitRecord:
+    """One completed receive wait on one node.
+
+    Message fields are copied at completion time: a duplicated wire
+    copy of the same :class:`~repro.net.Message` object may overwrite
+    ``delivered_at`` later, and the record must describe the copy that
+    actually released the wait.
+
+    Not frozen: this is the recorder's hottest allocation (one per
+    completed receive), and a frozen dataclass pays
+    ``object.__setattr__`` per field.  Nothing mutates records after
+    creation.
+    """
+
+    node: int           #: waiting (destination) node id
+    start: int          #: wait entry time, ns
+    end: int            #: wait completion time (== delivery for gated waits)
+    src: int            #: sending node id
+    sent_at: int        #: injection time of the matched copy
+    delivered_at: int   #: handoff time of the matched copy
+    size: int
+    proto_id: int       #: reliable-transport id (-1 on reliable fabrics)
+    attempt: int        #: 0 = original transmission, >0 = retransmission
+    op: str             #: collective op in progress, or "p2p"
+
+    @property
+    def gated(self) -> bool:
+        """True when the wait actually blocked on the wire (the message
+        had not yet arrived when the wait began)."""
+        return self.end > self.start
+
+
+class DependencyRecorder:
+    """Passive collector of cross-node causal edges for one machine.
+
+    Hooked in by the machine builder when critical-path recording is
+    on; every hook is O(1) per event (an append or a dict write), so
+    recording stays well under the observer-perturbation budget.
+    """
+
+    def __init__(self, env: "Environment", nodes: _t.Sequence["Node"]) -> None:
+        self.env = env
+        self.nodes = list(nodes)
+        #: node -> completed receive waits, in completion order (one
+        #: application context per CPU, so per-node waits never overlap
+        #: and append order == time order).  Pre-built per node so the
+        #: hot path is a plain indexed append.
+        self.waits: dict[int, list[WaitRecord]] = {
+            node.node_id: [] for node in self.nodes}
+        #: node -> transient CPU steals as (start, duration, source).
+        self.transients: dict[int, list[tuple[int, int, str]]] = {}
+        #: (src, dst, proto_id) -> first injection time (retry charging).
+        self.first_sent: dict[tuple[int, int, int], int] = {}
+        #: (src, dst, proto_id, attempt) retransmissions, in order.
+        self.retries: list[tuple[int, int, int, int, int]] = []
+        #: node -> rank-program start / finish time.
+        self.starts: dict[int, int] = {}
+        self.completions: dict[int, int] = {}
+        for node in self.nodes:
+            node.cpu.add_steal_listener(
+                self._make_steal_listener(node.node_id))
+
+    # -- hooks (called from the sim hot path) ------------------------------
+    def _make_steal_listener(self, node_id: int):
+        transients = self.transients.setdefault(node_id, [])
+
+        def on_steal(start: int, duration: int, source: str) -> None:
+            transients.append((start, duration, source))
+
+        return on_steal
+
+    def record_wait(self, node: int, start: int, end: int,
+                    msg: "Message") -> None:
+        """One receive wait completed (called from ``Request.wait``).
+
+        The operation label is decoded from the wire tag
+        (:func:`repro.mpi.constants.op_from_tag`) rather than threaded
+        through the call chain — the reserved collective tag space
+        already says which operation the message belongs to, and
+        decoding here keeps the send/recv hot path free of label
+        bookkeeping.
+        """
+        self.waits[node].append(WaitRecord(
+            node, start, end, msg.src, msg.sent_at, msg.delivered_at,
+            msg.size, msg.proto_id, msg.attempt, op_from_tag(msg.tag)))
+
+    def record_send(self, msg: "Message") -> None:
+        """First transmission of a protocol message (reliable transport)."""
+        self.first_sent.setdefault((msg.src, msg.dst, msg.proto_id),
+                                   self.env.now)
+
+    def record_retry(self, msg: "Message") -> None:
+        """A retransmission hit the wire (reliable transport)."""
+        self.retries.append((self.env.now, msg.src, msg.dst,
+                             msg.proto_id, msg.attempt))
+
+    def note_start(self, node: int) -> None:
+        self.starts.setdefault(node, self.env.now)
+
+    def note_completion(self, node: int) -> None:
+        self.completions[node] = self.env.now
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        return sum(len(w) for w in self.waits.values())
+
+    def edge_signature(self) -> tuple:
+        """A deterministic, comparable summary of the recorded edge set
+        (used by the determinism tests; excludes process-global ids)."""
+        out = []
+        for node in sorted(self.waits):
+            for w in self.waits[node]:
+                out.append((w.node, w.start, w.end, w.src, w.sent_at,
+                            w.delivered_at, w.size, w.attempt, w.op))
+        return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """One contiguous stretch of the critical path on one node.
+
+    ``kind`` is ``"exec"`` (the rank was executing), ``"network"``
+    (the path was on the wire), or ``"fault-retries"`` (the path was
+    waiting out a retransmission timeout).  ``charges`` splits the
+    segment's duration by cause; exec segments may also carry an
+    over-window overlap (see :meth:`CriticalPathResult.by_source`).
+    """
+
+    node: int
+    start: int
+    end: int
+    kind: str
+    charges: tuple[tuple[str, int], ...]
+    op: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPathResult:
+    """The reconstructed critical path plus its charge tables."""
+
+    segments: list[PathSegment]
+    origin_ns: int
+    end_ns: int
+    end_node: int
+    by_source: dict[str, int] = field(default_factory=dict)
+    by_node: dict[int, dict[str, int]] = field(default_factory=dict)
+    net_by_op: dict[str, int] = field(default_factory=dict)
+    n_net_hops: int = 0
+    n_retry_hops: int = 0
+    n_edges: int = 0
+
+    @property
+    def total_ns(self) -> int:
+        """Sum of segment durations (telescopes to end - origin)."""
+        return sum(s.duration for s in self.segments)
+
+    @property
+    def noise_ns(self) -> int:
+        """Critical-path time charged to named kernel/injected sources
+        (everything that is not compute, network, or retry waiting)."""
+        return sum(ns for src, ns in self.by_source.items()
+                   if src not in _STRUCTURAL)
+
+    def charged_ns(self, source: str) -> int:
+        return self.by_source.get(source, 0)
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """Plain-dict form (JSON-able, pickles across sweep workers)."""
+        return {
+            "origin_ns": self.origin_ns,
+            "end_ns": self.end_ns,
+            "end_node": self.end_node,
+            "total_ns": self.total_ns,
+            "noise_ns": self.noise_ns,
+            "n_segments": len(self.segments),
+            "n_net_hops": self.n_net_hops,
+            "n_retry_hops": self.n_retry_hops,
+            "n_edges": self.n_edges,
+            "by_source": dict(sorted(self.by_source.items())),
+            "by_node": {str(node): dict(sorted(charges.items()))
+                        for node, charges in sorted(self.by_node.items())},
+            "net_by_op": dict(sorted(self.net_by_op.items())),
+        }
+
+
+def _charge_exec(node: "Node", transients: list[tuple[int, int, str]],
+                 starts: list[int], a: int, b: int) -> dict[str, int]:
+    """Charge an exec window ``[a, b)`` on ``node`` by cause.
+
+    Background noise comes from the node's analytic noise streams
+    (exact per source); transient steals from the recorder's own log;
+    the remainder is genuine application/progress work (``compute``).
+    Overlapping steals are each charged in full — the same per-activity
+    convention as :meth:`repro.kernel.cpu.CPU.stolen_breakdown` — so in
+    pathological overlap the named charges can exceed the window; the
+    compute residual is clamped at zero.
+    """
+    charges = node.cpu.stolen_breakdown(a, b)
+    if transients:
+        # starts is the parallel sorted start list for bisect; steals
+        # are recorded in time order so it is simply a column view.
+        i = bisect_left(starts, a)
+        # Step back once: a steal starting before `a` may still overlap.
+        if i > 0:
+            i -= 1
+        for start, duration, source in transients[i:]:
+            if start >= b:
+                break
+            overlap = min(b, start + duration) - max(a, start)
+            if overlap > 0:
+                charges[source] = charges.get(source, 0) + overlap
+    stolen = sum(charges.values())
+    charges[SOURCE_COMPUTE] = max(0, (b - a) - stolen)
+    return charges
+
+
+def compute_critical_path(recorder: DependencyRecorder) -> CriticalPathResult:
+    """Walk backwards from the last rank to finish, reconstructing the
+    chain of local execution, message waits, and retransmission stalls
+    that determined the makespan."""
+    if not recorder.completions:
+        raise ConfigError("critical path: no completed rank programs "
+                          "recorded (did the machine run to completion?)")
+    end_node = max(recorder.completions,
+                   key=lambda n: (recorder.completions[n], n))
+    end_ns = recorder.completions[end_node]
+
+    # Per-node cursor into the wait list (we only ever move backwards).
+    ptr = {node: len(waits) for node, waits in recorder.waits.items()}
+    # Pre-extract transient start columns for bisecting.
+    transients = recorder.transients
+    t_starts = {node: [s for s, _d, _src in recs]
+                for node, recs in transients.items()}
+
+    segments: list[PathSegment] = []
+    by_source: dict[str, int] = {}
+    by_node: dict[int, dict[str, int]] = {}
+    net_by_op: dict[str, int] = {}
+    n_net = n_retry = 0
+
+    def charge(node: int, source: str, ns: int) -> None:
+        if ns <= 0:
+            return
+        by_source[source] = by_source.get(source, 0) + ns
+        per = by_node.setdefault(node, {})
+        per[source] = per.get(source, 0) + ns
+
+    def emit_exec(node: int, a: int, b: int) -> None:
+        if b <= a:
+            return
+        charges = _charge_exec(recorder.nodes[node],
+                               transients.get(node, ()),
+                               t_starts.get(node, ()), a, b)
+        for source, ns in charges.items():
+            charge(node, source, ns)
+        segments.append(PathSegment(node, a, b, "exec",
+                                    tuple(sorted(charges.items()))))
+
+    node = end_node
+    t = end_ns
+    origin = 0
+    while True:
+        waits = recorder.waits.get(node, ())
+        i = ptr.get(node, 0)
+        # Skip waits that completed after the current path time; the
+        # walk only ever revisits a node at earlier instants, so the
+        # cursor moves monotonically and never rescans.
+        while i > 0 and waits[i - 1].end > t:
+            i -= 1
+        if i == 0:
+            # No earlier dependency: local execution back to program
+            # start terminates the walk.
+            origin = recorder.starts.get(node, 0)
+            ptr[node] = 0
+            emit_exec(node, origin, t)
+            break
+        w = waits[i - 1]
+        ptr[node] = i - 1
+        emit_exec(node, w.end, t)
+        if not w.gated:
+            # The message had already arrived when the wait began: the
+            # wait cost nothing; keep walking locally from its start.
+            t = w.start
+            continue
+        # The wait blocked until delivery: the path was on the wire
+        # from the matched copy's injection to its handoff.
+        n_net += 1
+        wire = w.delivered_at - w.sent_at
+        charge(w.node, SOURCE_NETWORK, wire)
+        net_by_op[w.op] = net_by_op.get(w.op, 0) + wire
+        segments.append(PathSegment(w.node, w.sent_at, w.delivered_at,
+                                    "network",
+                                    ((SOURCE_NETWORK, wire),), op=w.op))
+        t = w.sent_at
+        node = w.src
+        if w.attempt > 0:
+            # The copy that got through was a retransmission: the time
+            # between the original injection and this copy's injection
+            # was spent waiting out ack timeouts — charge it to the
+            # fault layer on the sender, and continue the walk from the
+            # *original* send (that is when the sender was last busy).
+            first = recorder.first_sent.get((w.src, w.node, w.proto_id),
+                                            w.sent_at)
+            stall = w.sent_at - first
+            if stall > 0:
+                n_retry += 1
+                charge(w.src, SOURCE_RETRY, stall)
+                segments.append(PathSegment(w.src, first, w.sent_at,
+                                            "fault-retries",
+                                            ((SOURCE_RETRY, stall),),
+                                            op=w.op))
+                t = first
+
+    segments.reverse()
+    return CriticalPathResult(
+        segments=segments, origin_ns=origin, end_ns=end_ns,
+        end_node=end_node, by_source=by_source, by_node=by_node,
+        net_by_op=net_by_op, n_net_hops=n_net, n_retry_hops=n_retry,
+        n_edges=recorder.n_edges)
+
+
+# -- quiet-vs-noisy diff ---------------------------------------------------
+
+def diff_critical_paths(quiet: _t.Mapping[str, _t.Any],
+                        noisy: _t.Mapping[str, _t.Any]
+                        ) -> dict[str, _t.Any]:
+    """Charge a quiet-vs-noisy makespan gap to per-source deltas.
+
+    Accepts the plain-dict form (:meth:`CriticalPathResult.as_dict`,
+    which is what rides in ``RunResult.meta["critical_path"]``).
+    Returns ``gap_ns``, per-source ``delta_ns`` (noisy minus quiet,
+    sorted by magnitude), the fraction of the gap charged to noise
+    sources, and the top thief.
+    """
+    q_src = quiet["by_source"]
+    n_src = noisy["by_source"]
+    deltas = {src: n_src.get(src, 0) - q_src.get(src, 0)
+              for src in set(q_src) | set(n_src)}
+    deltas = {src: d for src, d in deltas.items() if d != 0}
+    gap = noisy["total_ns"] - quiet["total_ns"]
+    noise_delta = sum(d for src, d in deltas.items()
+                      if src not in _STRUCTURAL)
+    thief = max((src for src in deltas if src not in _STRUCTURAL),
+                key=lambda s: deltas[s], default=None)
+    return {
+        "gap_ns": gap,
+        "delta_ns": dict(sorted(deltas.items(),
+                                key=lambda kv: (-abs(kv[1]), kv[0]))),
+        "noise_delta_ns": noise_delta,
+        "noise_share_of_gap": (noise_delta / gap) if gap else 0.0,
+        "top_thief": thief,
+        "top_thief_ns": deltas.get(thief, 0) if thief else 0,
+    }
+
+
+# -- rendering -------------------------------------------------------------
+
+def _fmt_ms(ns: int | float) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+def format_critical_path(cp: _t.Mapping[str, _t.Any]) -> str:
+    """Plain-text "who stole the makespan" table from the dict form."""
+    from ..analysis import format_table
+
+    total = cp["total_ns"] or 1
+    headers = ["node", "source", "ms", "% of path"]
+    rows: list[list[_t.Any]] = []
+    for node, charges in cp["by_node"].items():
+        for source, ns in sorted(charges.items(),
+                                 key=lambda kv: (-kv[1], kv[0])):
+            rows.append([node, source, _fmt_ms(ns),
+                         round(100 * ns / total, 2)])
+    title = (f"critical path: {_fmt_ms(cp['total_ns'])} ms over "
+             f"{cp['n_segments']} segments ({cp['n_net_hops']} network "
+             f"hops), ends on node {cp['end_node']}")
+    lines = [format_table(headers, rows, title=title)]
+    summary = ", ".join(f"{src}={_fmt_ms(ns)}ms"
+                        for src, ns in sorted(cp["by_source"].items(),
+                                              key=lambda kv: -kv[1]))
+    lines.append(f"by source: {summary}\n")
+    if cp["net_by_op"]:
+        ops = ", ".join(f"{op}={_fmt_ms(ns)}ms"
+                        for op, ns in sorted(cp["net_by_op"].items(),
+                                             key=lambda kv: -kv[1]))
+        lines.append(f"network time by operation: {ops}\n")
+    return "".join(lines)
+
+
+def format_diff(diff: _t.Mapping[str, _t.Any]) -> str:
+    """Plain-text quiet-vs-noisy gap attribution."""
+    lines = [f"makespan gap vs quiet: {_fmt_ms(diff['gap_ns'])} ms; "
+             f"{100 * diff['noise_share_of_gap']:.1f}% charged to noise"]
+    for src, d in diff["delta_ns"].items():
+        sign = "+" if d >= 0 else ""
+        lines.append(f"  {src}: {sign}{_fmt_ms(d)} ms")
+    if diff["top_thief"]:
+        lines.append(f"top thief: {diff['top_thief']} "
+                     f"(+{_fmt_ms(diff['top_thief_ns'])} ms)")
+    return "\n".join(lines) + "\n"

@@ -35,9 +35,9 @@ from .trace import TRACE_CATEGORIES, SpanTracer
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.machine import Machine
 
-__all__ = ["configure", "disable", "metrics_enabled", "registry", "tracer",
-           "write_trace", "harvest_machine", "harvest_points",
-           "harvest_sweep_stats", "record_phase_seconds",
+__all__ = ["configure", "disable", "metrics_enabled", "critpath_enabled",
+           "registry", "tracer", "write_trace", "harvest_machine",
+           "harvest_points", "harvest_sweep_stats", "record_phase_seconds",
            "parse_categories"]
 
 #: Sweep-point wall-time bounds in seconds.
@@ -52,6 +52,11 @@ class _ObsState:
         self.registry = MetricsRegistry()
         self.tracer: SpanTracer | None = None
         self.trace_path: str | None = None
+        #: Cross-node dependency recording for critical-path
+        #: attribution (see :mod:`repro.obs.critpath`).  Machines also
+        #: honour a per-config switch; this is the process-wide one the
+        #: CLI's ``--critical-path`` flips.
+        self.critpath_on = False
 
 
 _STATE = _ObsState()
@@ -74,7 +79,8 @@ def parse_categories(spec: str | None) -> list[str] | None:
 def configure(*, metrics: bool | None = None,
               trace: str | bool | None = None,
               trace_categories: _t.Iterable[str] | str | None = None,
-              trace_cap: int = 200_000) -> None:
+              trace_cap: int = 200_000,
+              critical_path: bool | None = None) -> None:
     """Turn telemetry on for this process.
 
     Parameters
@@ -89,9 +95,15 @@ def configure(*, metrics: bool | None = None,
         Categories to record (list or comma-string; ``None`` = all).
     trace_cap:
         Tracer ring-buffer capacity.
+    critical_path:
+        Record cross-node dependency edges on every machine built in
+        this process and attach the critical-path attribution to run
+        results (``RunResult.meta["critical_path"]``).
     """
     if metrics is not None:
         _STATE.metrics_on = bool(metrics)
+    if critical_path is not None:
+        _STATE.critpath_on = bool(critical_path)
     if trace:
         if isinstance(trace_categories, str):
             trace_categories = parse_categories(trace_categories)
@@ -109,10 +121,16 @@ def disable() -> None:
     _STATE.registry = MetricsRegistry()
     _STATE.tracer = None
     _STATE.trace_path = None
+    _STATE.critpath_on = False
 
 
 def metrics_enabled() -> bool:
     return _STATE.metrics_on
+
+
+def critpath_enabled() -> bool:
+    """True when cross-node dependency recording is on process-wide."""
+    return _STATE.critpath_on
 
 
 def registry() -> MetricsRegistry:

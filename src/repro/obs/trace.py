@@ -50,12 +50,18 @@ from ..errors import ConfigError
 
 __all__ = ["SpanTracer", "TRACE_CATEGORIES", "DEFAULT_TRACE_CATEGORIES"]
 
-#: Every category an instrumentation point may use.
-TRACE_CATEGORIES = ("sim", "net", "mpi", "faults", "sweep", "harness")
+#: Every category an instrumentation point may use.  ``net.flow`` is
+#: the flow-event stream (``ph:"s"``/``"f"`` pairs linking a send span
+#: to its delivery span across node tracks — Perfetto draws them as
+#: arrows); it is separate from ``net`` so the per-message spans and
+#: the arrows can be toggled independently.
+TRACE_CATEGORIES = ("sim", "net", "net.flow", "mpi", "faults", "sweep",
+                    "harness")
 
 #: What ``categories=None`` enables: everything except the per-event
 #: ``sim`` firehose (see module docstring).
-DEFAULT_TRACE_CATEGORIES = ("net", "mpi", "faults", "sweep", "harness")
+DEFAULT_TRACE_CATEGORIES = ("net", "net.flow", "mpi", "faults", "sweep",
+                            "harness")
 
 #: Synthetic pids for the two time domains.
 _SIM_PID = 1
@@ -108,6 +114,7 @@ class SpanTracer:
         self._events: list[_Stored] = []
         self._next = 0  # ring cursor once the buffer is full
         self.dropped = 0
+        self._flow_seq = 0
         self._t0 = time.perf_counter()
 
     # -- gating ----------------------------------------------------------
@@ -145,6 +152,35 @@ class SpanTracer:
             args = _flatten(args)
         self._push(("i", category, name, _SIM_PID, tid, ts_ns, 0, args))
 
+    def next_flow_id(self) -> int:
+        """Allocate a flow id unique within this trace document.
+
+        The tracer owns the counter (not each emitter): several
+        machines can share one tracer — a ``compare`` run traces the
+        quiet and noisy machine into the same document — and ids that
+        restart per machine would bind arrows across unrelated runs.
+        """
+        self._flow_seq += 1
+        return self._flow_seq
+
+    def flow_start(self, category: str, name: str, ts_ns: int,
+                   flow_id: int, *, tid: int = 0) -> None:
+        """Open a flow arrow (``s`` event) at ``ts_ns`` on node ``tid``.
+
+        ``flow_id`` must be unique per arrow and shared with the
+        matching :meth:`flow_finish`; it rides in the stored tuple's
+        duration slot (flows have no duration).
+        """
+        self._push(("s", category, name, _SIM_PID, tid, ts_ns, flow_id,
+                    None))
+
+    def flow_finish(self, category: str, name: str, ts_ns: int,
+                    flow_id: int, *, tid: int = 0) -> None:
+        """Close a flow arrow (``f`` event, binding point ``e``: the
+        arrow head attaches to the enclosing slice's end)."""
+        self._push(("f", category, name, _SIM_PID, tid, ts_ns, flow_id,
+                    None))
+
     def host_span(self, category: str, name: str, start_s: float,
                   duration_s: float, *, tid: int = 0,
                   args: _t.Any = None) -> None:
@@ -172,11 +208,14 @@ class SpanTracer:
         for ph, cat, name, pid, tid, ts, dur, args in self._raw():
             if pid == _SIM_PID:  # integer ns -> trace-event us
                 ts /= 1e3
-                dur /= 1e3
             ev: dict[str, _t.Any] = {"ph": ph, "cat": cat, "name": name,
                                      "pid": pid, "tid": tid, "ts": ts}
             if ph == "X":
-                ev["dur"] = dur
+                ev["dur"] = dur / 1e3 if pid == _SIM_PID else dur
+            elif ph in ("s", "f"):  # flow: dur slot carries the id
+                ev["id"] = dur
+                if ph == "f":
+                    ev["bp"] = "e"  # bind to the enclosing slice's end
             else:  # instant: scope = thread
                 ev["s"] = "t"
             if args is not None:
@@ -192,7 +231,15 @@ class SpanTracer:
             meta.append({"ph": "M", "pid": pid, "tid": 0,
                          "name": "process_name",
                          "args": {"name": label}})
-        return {"traceEvents": meta + self.events(),
+        events = self.events()
+        # One named track per node so cross-node flows read vertically.
+        sim_tids = sorted({e["tid"] for e in events
+                           if e["pid"] == _SIM_PID})
+        for tid in sim_tids:
+            meta.append({"ph": "M", "pid": _SIM_PID, "tid": tid,
+                         "name": "thread_name",
+                         "args": {"name": f"node {tid}"}})
+        return {"traceEvents": meta + events,
                 "displayTimeUnit": "ns",
                 "otherData": {"generator": "repro.obs",
                               "categories": sorted(self.categories),

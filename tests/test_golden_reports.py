@@ -22,9 +22,12 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 #: golden file stem -> (experiment id, scale).
 GOLDENS = {
     "e1_small": ("E1", "small"),
+    "e2_small": ("E2", "small"),
     "e3_small": ("E3", "small"),
     "e5_small": ("E5", "small"),
+    "e6_small": ("E6", "small"),
     "e15_small": ("E15", "small"),
+    "e16_small": ("E16", "small"),
 }
 
 

@@ -118,6 +118,67 @@ def test_profile_export_rows_and_csv():
     assert len(csv.splitlines()) == len(rows) + 1
 
 
+def test_profile_csv_empty_profile_is_header_only():
+    from repro.ktau.profile import NodeKernelProfile
+    prof = NodeKernelProfile(node=3, window_start=0, window_end=1000,
+                             entries=())
+    csv = profile_to_csv(prof)
+    assert csv == ("node,source,kind,count,total_ns,mean_ns,min_ns,"
+                   "max_ns,pct_of_window\n")
+    assert profile_to_rows(prof) == []
+
+
+def test_profile_rows_zero_and_reversed_window_pct():
+    from repro.ktau.profile import NodeKernelProfile, ProfileEntry
+    entry = ProfileEntry(source="timer-irq", kind="interrupt", count=2,
+                         total_ns=500, min_ns=200, max_ns=300)
+    for start, end in ((100, 100), (200, 100)):
+        prof = NodeKernelProfile(node=0, window_start=start,
+                                 window_end=end, entries=(entry,))
+        rows = profile_to_rows(prof)
+        assert rows[0]["pct_of_window"] == 0.0
+        assert rows[0]["total_ns"] == 500
+    # Header columns match populated-row key order.
+    csv = profile_to_csv(prof)
+    header = csv.splitlines()[0].split(",")
+    assert header == list(rows[0].keys())
+
+
+def test_trace_to_rows_reversed_window_is_empty():
+    m, tr, app = _observed_pop()
+    assert trace_to_rows(tr, 0, 5 * MS, 0) == []
+    assert trace_to_rows(tr, 0, 5 * MS, 5 * MS) == []
+
+
+def test_merged_timeline_boundary_clipping():
+    """Intervals overlapping the window edge are included (unclipped);
+    intervals and kernel events entirely outside are dropped."""
+    m, tr, app = _observed_pop()
+    iters = tr.app_intervals(0, "pop:iteration")
+    second = iters[1]
+    # Window straddling the middle of the second iteration: it must
+    # appear even though it starts before the window.
+    mid = (second.start + second.end) // 2
+    entries = merged_timeline(tr, 0, mid, second.end)
+    labels = [(e.label, e.time) for e in entries if e.kind == "app"
+              and e.label == "pop:iteration"]
+    assert ("pop:iteration", second.start) in labels
+    # Its reported duration is the full (unclipped) interval length.
+    entry = next(e for e in entries if e.kind == "app"
+                 and e.label == "pop:iteration")
+    assert entry.duration == second.duration
+    # An interval that *ends exactly at* the window start is excluded
+    # (half-open [start, end) semantics), as is one starting at end.
+    first = iters[0]
+    after = merged_timeline(tr, 0, first.end, first.end + 1)
+    assert (first.start not in
+            [e.time for e in after if e.label == "pop:iteration"])
+    # Kernel events are window-filtered by their start instant.
+    for e in merged_timeline(tr, 0, mid, second.end):
+        if e.kind != "app":
+            assert mid <= e.time < second.end
+
+
 def test_intervals_export_includes_breakdown_and_meta():
     m, tr, app = _observed_pop()
     rows = intervals_to_rows(tr, 0, "pop:iteration")
