@@ -20,6 +20,11 @@ Commands
 ``sweep --app pop --nodes 4,16,64 --patterns 2.5pct@10Hz,2.5pct@1000Hz``
     Scaling sweep with shared quiet baselines; prints the slowdown
     table (optionally ``--csv out.csv``).
+``lint [PATHS] [--json] [--baseline FILE]``
+    Run detlint, the project's AST-based determinism / sim-protocol
+    static analyzer, over a source tree (defaults to ``src/repro``).
+    Same engine as ``python -m repro.lint``; see
+    docs/STATIC_ANALYSIS.md for the rule catalog.
 
 ``compare`` and ``sweep`` accept ``--faults SPEC`` to run on an
 unreliable machine (``drop=0.01,dup=0.002,timeout=1ms,...`` — see
@@ -161,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chr.add_argument("--nodes", type=int, default=8)
     p_chr.add_argument("--seconds", type=float, default=2.0)
     p_chr.add_argument("--seed", type=int, default=0)
+
+    p_lnt = sub.add_parser(
+        "lint", help="run detlint, the determinism/sim-protocol "
+                     "static analyzer, over a source tree")
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lnt)
 
     p_swp = sub.add_parser("sweep", help="scaling sweep with baselines")
     p_swp.add_argument("--app", default="bsp", choices=workload_names())
@@ -451,6 +463,10 @@ def main(argv: _t.Sequence[str] | None = None,
             return _cmd_characterize(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "lint":
+            from .lint.cli import run_lint
+
+            return run_lint(args, out)
     except ReproError as exc:
         out.write(f"error: {exc}\n")
         return 2

@@ -138,6 +138,11 @@ def run_experiment(config: ExperimentConfig,
         meta["faults"] = fault_stats
     if machine.critpath is not None:
         meta["critical_path"] = machine.critical_path().as_dict()
+    if machine.env.det_checksum:
+        # obs.configure(det_check=True): order-sensitive checksum of
+        # every scheduled (time, priority, seq) tuple — equal across
+        # serial/worker runs iff scheduling order was identical.
+        meta["det_check"] = machine.env.det_checksum
     result = RunResult(
         app=config.app, n_nodes=config.nodes, pattern=config.noise_pattern,
         seed=config.seed, makespan_ns=app.makespan_ns(),

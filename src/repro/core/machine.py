@@ -156,7 +156,8 @@ class Machine:
         self.env = Environment(
             metrics=self._obs_metrics,
             tracer=(tracer if tracer is not None
-                    and tracer.enabled("sim") else None))
+                    and tracer.enabled("sim") else None),
+            det_check=_obs.det_check_enabled())
         kernel_cfg = config.kernel_config()
         plan = config.injection
         faults = config.faults

@@ -1,0 +1,55 @@
+"""repro.lint — "detlint", the determinism & sim-correctness analyzer.
+
+Every result in this reproduction rests on the DES being
+bit-deterministic: quiet-vs-noisy diffs measure kernel-noise effects
+only because nothing else varies.  Runtime tests
+(``tests/test_determinism.py``) catch a violation after the fact; this
+package catches the hazard at the line that creates it, before any
+experiment runs.
+
+It is a custom AST analyzer (no third-party lint framework) that walks
+``src/repro`` and enforces the project's invariants as named,
+suppressible rules:
+
+========  ==========================================================
+DET001    wall-clock/entropy calls in sim-scoped modules
+DET002    global ``random`` module instead of ``sim/rng.py`` streams
+DET003    unordered set/dict iteration escaping into sim state
+DET004    ``id()``/object identity used for ordering or keying
+DET005    float accumulation (``sum``) over unordered iterables
+DET006    ``os.environ`` reads inside sim-scoped code
+SIM001    process generator called without ``env.process(...)``
+SIM002    ``yield`` of a non-Event inside a process generator
+PERF001   hot-path class missing ``__slots__``
+OBS001    telemetry call not behind the enabled-gate pattern
+========  ==========================================================
+
+Entry points: ``python -m repro.lint [paths]`` and ``repro lint``;
+findings can be suppressed inline (``# detlint: disable=DET003 --
+reason``) or grandfathered in ``detlint-baseline.json``.  See
+docs/STATIC_ANALYSIS.md for the full catalog with bad/good examples,
+the scope map, and the suppression/baseline policy.
+"""
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .cli import main
+from .engine import (
+    HOT_PATH_MODULES,
+    Finding,
+    LintReport,
+    ModuleUnderLint,
+    lint_paths,
+    lint_source,
+    module_scope,
+)
+from .report import SCHEMA_VERSION, render_json, render_text
+from .rules import RULES, Rule, active_rules, rule, rule_catalog
+
+__all__ = [
+    "Finding", "LintReport", "ModuleUnderLint", "lint_paths",
+    "lint_source", "module_scope", "HOT_PATH_MODULES",
+    "Rule", "RULES", "rule", "active_rules", "rule_catalog",
+    "Baseline", "DEFAULT_BASELINE_NAME",
+    "render_text", "render_json", "SCHEMA_VERSION",
+    "main",
+]

@@ -1,0 +1,78 @@
+"""Checked-in baseline of grandfathered detlint findings.
+
+A baseline entry pins one finding by its content fingerprint (rule id +
+normalized path + offending line text + occurrence index — line-number
+independent, see :func:`repro.lint.engine._assign_fingerprints`) plus a
+human justification.  Baselined findings do not fail the run but are
+reported separately, so the debt stays visible.
+
+Policy (docs/STATIC_ANALYSIS.md): new findings are fixed or inline-
+suppressed with a justification; the baseline exists for pre-existing
+findings grandfathered at rule-introduction time and should only ever
+shrink.  ``python -m repro.lint --write-baseline`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from pathlib import Path
+
+from ..errors import ConfigError
+from .engine import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "detlint-baseline.json"
+
+
+class Baseline:
+    """A set of fingerprinted, justified findings that do not fail CI."""
+
+    def __init__(self, entries: _t.Iterable[dict[str, _t.Any]] = ()) -> None:
+        self.entries: list[dict[str, _t.Any]] = list(entries)
+        self._fingerprints = {e["fingerprint"] for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    @classmethod
+    def from_findings(cls, findings: _t.Iterable[Finding],
+                      justification: str = "grandfathered at "
+                      "rule-introduction time") -> "Baseline":
+        return cls({"rule": f.rule, "path": f.path, "line": f.line,
+                    "fingerprint": f.fingerprint,
+                    "justification": justification}
+                   for f in findings)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("tool") != "detlint":
+            raise ConfigError(f"{path} is not a detlint baseline")
+        if doc.get("version") != BASELINE_VERSION:
+            raise ConfigError(
+                f"baseline {path} has version {doc.get('version')!r}; "
+                f"this detlint reads version {BASELINE_VERSION}")
+        entries = doc.get("entries", [])
+        for e in entries:
+            if "fingerprint" not in e:
+                raise ConfigError(f"baseline {path} entry missing "
+                                  f"fingerprint: {e!r}")
+        return cls(entries)
+
+    def dump(self, path: str | Path) -> None:
+        doc = {"tool": "detlint", "version": BASELINE_VERSION,
+               "entries": sorted(self.entries,
+                                 key=lambda e: (e.get("path", ""),
+                                                e.get("line", 0),
+                                                e.get("rule", "")))}
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                              + "\n", encoding="utf-8")

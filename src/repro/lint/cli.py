@@ -1,0 +1,122 @@
+"""detlint command line: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 = clean (modulo baseline and inline suppressions),
+1 = non-baselined findings, 2 = usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+from pathlib import Path
+
+from ..errors import ConfigError
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import lint_paths
+from .report import render_json, render_text
+from .rules import rule_catalog
+
+__all__ = ["build_parser", "main", "add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach detlint flags (shared by ``repro lint`` and this module)."""
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to analyze "
+                             "(default: src/repro, falling back to the "
+                             "installed repro package)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="also write the report to FILE (useful for "
+                             "CI artifacts; format follows --json)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file of grandfathered findings "
+                             f"(default: ./{DEFAULT_BASELINE_NAME} when "
+                             "present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print baselined findings (text mode)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="detlint: AST-based determinism & sim-correctness "
+                    "analyzer for the repro codebase")
+    add_lint_arguments(parser)
+    return parser
+
+
+def _default_paths() -> list[str]:
+    if Path("src/repro").is_dir():
+        return ["src/repro"]
+    return [str(Path(__file__).resolve().parent.parent)]
+
+
+def _render_rule_catalog() -> str:
+    lines = []
+    for r in rule_catalog():
+        lines.append(f"{r['id']} [{r['severity']}] "
+                     f"(scopes: {r['scopes']}) — {r['summary']}")
+        doc = r["doc"].splitlines()
+        if doc:
+            lines.append(f"    {doc[0].strip()}")
+    return "\n".join(lines) + "\n"
+
+
+def run_lint(args: argparse.Namespace, out: _t.TextIO) -> int:
+    """Execute one lint run from parsed arguments."""
+    if args.list_rules:
+        out.write(_render_rule_catalog())
+        return 0
+
+    paths = args.paths or _default_paths()
+    for p in paths:
+        if not Path(p).exists():
+            out.write(f"error: no such path: {p}\n")
+            return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and Path(DEFAULT_BASELINE_NAME).is_file():
+        baseline_path = DEFAULT_BASELINE_NAME
+    baseline = None
+    if baseline_path and not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(baseline_path)
+
+    report = lint_paths(paths, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        Baseline.from_findings(report.findings).dump(target)
+        out.write(f"detlint: wrote {len(report.findings)} finding(s) "
+                  f"to {target}\n")
+        return 0
+
+    text = (render_json(report, paths=[str(p) for p in paths])
+            if args.json
+            else render_text(report,
+                             verbose_baseline=args.show_baselined))
+    out.write(text)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+    return 0 if report.clean else 1
+
+
+def main(argv: _t.Sequence[str] | None = None,
+         out: _t.TextIO | None = None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return run_lint(args, out)
+    except ConfigError as exc:
+        out.write(f"error: {exc}\n")
+        return 2

@@ -1,0 +1,64 @@
+"""detlint reporters: human text and machine-readable JSON.
+
+The JSON schema is versioned and covered by
+``tests/test_lint.py::test_json_schema_stability`` — additions bump
+``SCHEMA_VERSION``; existing keys never change meaning.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from .engine import LintReport
+from .rules import rule_catalog
+
+__all__ = ["SCHEMA_VERSION", "render_text", "render_json"]
+
+SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, *, verbose_baseline: bool = False) -> str:
+    """One line per finding plus a summary tail (empty-safe)."""
+    lines = [f.format() for f in report.findings]
+    if verbose_baseline:
+        lines.extend(f.format() + "  [baselined]" for f in report.baselined)
+    by_rule = report.by_rule()
+    tail = (f"detlint: {len(report.findings)} finding(s) in "
+            f"{report.files} file(s)")
+    if by_rule:
+        tail += " (" + ", ".join(f"{r}: {n}" for r, n in by_rule.items()) \
+            + ")"
+    extras = []
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed inline")
+    if extras:
+        tail += " [" + ", ".join(extras) + "]"
+    lines.append(tail)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport, *, paths: _t.Sequence[str] = ()) -> str:
+    """Stable machine-readable report (sorted keys, versioned schema)."""
+    doc = {
+        "tool": "detlint",
+        "schema_version": SCHEMA_VERSION,
+        "paths": list(paths),
+        "rules": {r["id"]: {"severity": r["severity"],
+                            "summary": r["summary"],
+                            "scopes": r["scopes"]}
+                  for r in rule_catalog()},
+        "findings": [f.as_dict() for f in report.findings]
+        + [f.as_dict() for f in report.baselined],
+        "summary": {
+            "files": report.files,
+            "active": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed,
+            "by_rule": report.by_rule(),
+            "clean": report.clean,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

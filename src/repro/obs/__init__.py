@@ -49,6 +49,7 @@ from .metrics import (
 from .runtime import (
     configure,
     critpath_enabled,
+    det_check_enabled,
     disable,
     harvest_machine,
     metrics_enabled,
@@ -67,6 +68,7 @@ __all__ = [
     "CriticalPathResult", "compute_critical_path", "diff_critical_paths",
     "format_critical_path", "format_diff",
     "configure", "disable", "metrics_enabled", "critpath_enabled",
+    "det_check_enabled",
     "registry", "tracer", "write_trace", "harvest_machine",
     "parse_categories",
 ]

@@ -407,7 +407,7 @@ def diff_critical_paths(quiet: _t.Mapping[str, _t.Any],
     q_src = quiet["by_source"]
     n_src = noisy["by_source"]
     deltas = {src: n_src.get(src, 0) - q_src.get(src, 0)
-              for src in set(q_src) | set(n_src)}
+              for src in sorted(set(q_src) | set(n_src))}
     deltas = {src: d for src, d in deltas.items() if d != 0}
     gap = noisy["total_ns"] - quiet["total_ns"]
     noise_delta = sum(d for src, d in deltas.items()

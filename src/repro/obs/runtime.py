@@ -36,6 +36,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.machine import Machine
 
 __all__ = ["configure", "disable", "metrics_enabled", "critpath_enabled",
+           "det_check_enabled",
            "registry", "tracer", "write_trace", "harvest_machine",
            "harvest_points", "harvest_sweep_stats", "record_phase_seconds",
            "parse_categories"]
@@ -57,6 +58,11 @@ class _ObsState:
         #: honour a per-config switch; this is the process-wide one the
         #: CLI's ``--critical-path`` flips.
         self.critpath_on = False
+        #: Determinism spot-check: every machine folds its scheduled
+        #: ``(time, priority, seq)`` tuples into an order-sensitive
+        #: checksum attached to ``RunResult.meta["det_check"]``
+        #: (asserted serial == workers by tests/test_determinism.py).
+        self.det_check_on = False
 
 
 _STATE = _ObsState()
@@ -80,7 +86,8 @@ def configure(*, metrics: bool | None = None,
               trace: str | bool | None = None,
               trace_categories: _t.Iterable[str] | str | None = None,
               trace_cap: int = 200_000,
-              critical_path: bool | None = None) -> None:
+              critical_path: bool | None = None,
+              det_check: bool | None = None) -> None:
     """Turn telemetry on for this process.
 
     Parameters
@@ -99,11 +106,20 @@ def configure(*, metrics: bool | None = None,
         Record cross-node dependency edges on every machine built in
         this process and attach the critical-path attribution to run
         results (``RunResult.meta["critical_path"]``).
+    det_check:
+        Seed an order-sensitive checksum of every scheduled
+        ``(time, priority, seq)`` tuple into
+        ``RunResult.meta["det_check"]`` — cheap runtime evidence that
+        two runs scheduled identically (sweeps forward the switch into
+        worker processes, so serial and ``--workers`` runs are
+        directly comparable).
     """
     if metrics is not None:
         _STATE.metrics_on = bool(metrics)
     if critical_path is not None:
         _STATE.critpath_on = bool(critical_path)
+    if det_check is not None:
+        _STATE.det_check_on = bool(det_check)
     if trace:
         if isinstance(trace_categories, str):
             trace_categories = parse_categories(trace_categories)
@@ -122,6 +138,7 @@ def disable() -> None:
     _STATE.tracer = None
     _STATE.trace_path = None
     _STATE.critpath_on = False
+    _STATE.det_check_on = False
 
 
 def metrics_enabled() -> bool:
@@ -131,6 +148,11 @@ def metrics_enabled() -> bool:
 def critpath_enabled() -> bool:
     """True when cross-node dependency recording is on process-wide."""
     return _STATE.critpath_on
+
+
+def det_check_enabled() -> bool:
+    """True when the scheduled-event checksum is on process-wide."""
+    return _STATE.det_check_on
 
 
 def registry() -> MetricsRegistry:

@@ -115,7 +115,9 @@ class SpanTracer:
         self._next = 0  # ring cursor once the buffer is full
         self.dropped = 0
         self._flow_seq = 0
-        self._t0 = time.perf_counter()
+        # Host-scoped epoch for aligning host spans in the Chrome
+        # trace; never feeds back into simulated time or results.
+        self._t0 = time.perf_counter()  # detlint: disable=DET001 -- host-scoped trace epoch
 
     # -- gating ----------------------------------------------------------
     def enabled(self, category: str) -> bool:

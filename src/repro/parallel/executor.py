@@ -45,11 +45,17 @@ def _is_quiet(pattern: str) -> bool:
     return pattern.strip().lower() in _QUIET_ALIASES
 
 
-def _run_point(config: ExperimentConfig) -> tuple[RunResult, float]:
+def _run_point(config: ExperimentConfig,
+               det_check: bool = False) -> tuple[RunResult, float]:
     """Worker entry point: one simulation, with its wall-clock cost.
 
-    Top-level so it pickles into pool workers.
+    Top-level so it pickles into pool workers.  ``det_check`` forwards
+    the parent's ``obs.configure(det_check=True)`` switch explicitly:
+    per-process obs state is inherited under fork but not spawn, and
+    the serial/workers checksum comparison needs both paths to agree.
     """
+    if det_check and not _obs.det_check_enabled():
+        _obs.configure(det_check=True)
     t0 = time.perf_counter()
     result = _t.cast(RunResult, run_experiment(config))
     return result, time.perf_counter() - t0
@@ -229,6 +235,7 @@ class SweepExecutor:
                 pending[key] = cfg
 
         failed: dict[_t.Any, BaseException] = {}
+        det_check = _obs.det_check_enabled()
         tracer = _obs.tracer()
         if tracer is not None and not tracer.enabled("sweep"):
             tracer = None
@@ -249,7 +256,7 @@ class SweepExecutor:
         if pending and self.workers == 1:
             for key, cfg in pending.items():
                 try:
-                    result, elapsed = _run_point(cfg)
+                    result, elapsed = _run_point(cfg, det_check)
                 except Exception as exc:
                     failed[key] = exc
                     continue
@@ -257,7 +264,7 @@ class SweepExecutor:
         elif pending:
             n_workers = min(self.workers, len(pending))
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = {key: pool.submit(_run_point, cfg)
+                futures = {key: pool.submit(_run_point, cfg, det_check)
                            for key, cfg in pending.items()}
                 for key, fut in futures.items():
                     try:
@@ -277,7 +284,7 @@ class SweepExecutor:
                 progress(f"{label} failed "
                          f"({type(first_exc).__name__}); retrying serially")
             try:
-                result, elapsed = _run_point(pending[key])
+                result, elapsed = _run_point(pending[key], det_check)
             except Exception as exc:
                 errors[key] = PointError(label, type(exc).__name__,
                                          str(exc), retried=True)

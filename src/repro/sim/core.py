@@ -52,10 +52,11 @@ class Environment:
 
     __slots__ = ("_now", "_queue", "_seq", "events_processed",
                  "_live_processes", "_metrics",
-                 "events_cancelled", "max_heap_depth", "tracer")
+                 "events_cancelled", "max_heap_depth", "tracer",
+                 "_det_check", "det_checksum")
 
     def __init__(self, initial_time: int = 0, *, metrics: bool = False,
-                 tracer: _t.Any = None) -> None:
+                 tracer: _t.Any = None, det_check: bool = False) -> None:
         if initial_time < 0:
             raise ValueError("initial_time must be >= 0")
         self._now: int = int(initial_time)
@@ -76,6 +77,14 @@ class Environment:
         #: Optional :class:`~repro.obs.SpanTracer`; when set, ``run()``
         #: uses an instrumented loop emitting one instant per event.
         self.tracer = tracer
+        #: Determinism spot-check (``obs.configure(det_check=True)``):
+        #: fold every scheduled ``(time, priority, seq)`` tuple into an
+        #: order-sensitive FNV-1a checksum.  Two runs schedule the same
+        #: events in the same order iff the checksums match — the
+        #: runtime counterpart to the static DET rules, catching
+        #: dynamic ordering divergence the linter cannot see.
+        self._det_check = bool(det_check)
+        self.det_checksum: int = 0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -102,9 +111,20 @@ class Environment:
         """Insert ``event`` into the queue ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        when = self._now + delay
+        seq = next(self._seq)
+        heapq.heappush(self._queue, (when, priority, seq, event))
         if self._metrics and len(self._queue) > self.max_heap_depth:
             self.max_heap_depth = len(self._queue)
+        if self._det_check:
+            # Order-sensitive 64-bit FNV-1a over the tuple stream; int
+            # arithmetic only, so it is identical across processes and
+            # unaffected by PYTHONHASHSEED.
+            h = self.det_checksum
+            for v in (when, priority, seq):
+                h = ((h ^ (v & 0xFFFFFFFFFFFFFFFF)) * 0x100000001B3) \
+                    & 0xFFFFFFFFFFFFFFFF
+            self.det_checksum = h
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:

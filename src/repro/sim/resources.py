@@ -27,6 +27,8 @@ class Store:
     full.
     """
 
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
+
     def __init__(self, env: "Environment", capacity: int | None = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive or None")
@@ -85,6 +87,8 @@ class Resource:
         finally:
             resource.release()
     """
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiters")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity <= 0:

@@ -16,7 +16,10 @@ import pytest
 
 from repro import obs
 from repro.core import ExperimentConfig, sweep_records
+from repro.core import run_experiment as core_run_experiment
+from repro.core.results import ComparisonResult
 from repro.harness import run_experiment
+from repro.parallel import SweepExecutor
 
 #: Fast experiments used as report-byte probes (sub-second at small
 #: scale).  E1 drives nodes directly (no machine-level harvest); E15 is
@@ -92,6 +95,64 @@ def test_serial_and_parallel_sweeps_agree_with_metrics_on():
         assert serial_snap[key] == parallel_snap[key], key
     # 2x2 grid: the quiet column doubles as the shared baselines.
     assert serial_snap["exec.points_total"] == 4
+
+
+# -- det_check: order-sensitive scheduling checksum -------------------------
+
+def test_det_check_absent_by_default():
+    obs.disable()
+    cfg = ExperimentConfig(app="bsp", nodes=2, seed=3, app_params=BSP_SMALL)
+    result = core_run_experiment(cfg)
+    assert "det_check" not in result.meta
+
+
+def test_det_check_serial_equals_workers():
+    """obs.configure(det_check=True): every run carries an order-
+    sensitive checksum of its scheduled (time, priority, seq) tuples,
+    and serial vs --workers fan-out produces identical checksums —
+    runtime evidence the event orderings themselves matched, not just
+    the derived report numbers."""
+    base = ExperimentConfig(app="bsp", seed=7, app_params=BSP_SMALL)
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+
+    def checksums(workers):
+        obs.disable()
+        obs.configure(det_check=True)
+        try:
+            results = SweepExecutor(workers=workers).run_sweep(base, **kwargs)
+            out = {}
+            for key, res in results.items():
+                if isinstance(res, ComparisonResult):
+                    out[key] = (res.quiet.meta["det_check"],
+                                res.noisy.meta["det_check"])
+                else:
+                    out[key] = res.meta["det_check"]
+        finally:
+            obs.disable()
+        return out
+
+    serial, pooled = checksums(1), checksums(2)
+    assert serial == pooled
+    flat = [v for entry in serial.values()
+            for v in (entry if isinstance(entry, tuple) else (entry,))]
+    assert flat and all(isinstance(v, int) and v != 0 for v in flat)
+
+
+def test_det_check_distinguishes_different_schedules():
+    obs.disable()
+    obs.configure(det_check=True)
+    try:
+        quiet = core_run_experiment(
+            ExperimentConfig(app="bsp", nodes=2, seed=3,
+                             app_params=BSP_SMALL))
+        # 1000Hz so the pattern actually strikes within the ~5ms run.
+        noisy = core_run_experiment(
+            ExperimentConfig(app="bsp", nodes=2, seed=3,
+                             noise_pattern="2.5pct@1000Hz",
+                             app_params=BSP_SMALL))
+    finally:
+        obs.disable()
+    assert quiet.meta["det_check"] != noisy.meta["det_check"]
 
 
 # -- axis (c): tracing on vs off -------------------------------------------

@@ -1,7 +1,9 @@
 """Tests for the parallel sweep executor and the on-disk result cache."""
 
 import json
+import os
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -55,6 +57,31 @@ def test_config_key_differs_on_any_field():
     assert config_key(base) != config_key(ExperimentConfig(
         app="bsp", nodes=16, seed=3))
     assert config_key(base, salt="v1") != config_key(base, salt="v2")
+
+
+def test_config_key_survives_hash_seed_and_wall_clock():
+    """Cache keys must be content-only: identical across processes with
+    different PYTHONHASHSEED values (set iteration inside the token
+    builder must be sorted) and free of any wall-clock component."""
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.core import ExperimentConfig;"
+        "from repro.parallel.cache import config_key;"
+        "cfg = ExperimentConfig(app='bsp', nodes=8, seed=3,"
+        " app_params={'alpha': 1, 'beta': 2.5, 'gamma': 'x'});"
+        "print(config_key(cfg))")
+    keys = set()
+    for hash_seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                   PYTHONPATH="src")
+        out = subprocess.run([sys.executable, "-c", script],
+                             capture_output=True, text=True, env=env,
+                             cwd=Path(__file__).resolve().parent.parent)
+        assert out.returncode == 0, out.stderr
+        keys.add(out.stdout.strip())
+    assert len(keys) == 1  # same config -> same key, every process
 
 
 def test_config_key_handles_instance_substrate():

@@ -144,11 +144,11 @@ def test_failure_is_retried_once(monkeypatch):
     attempts = []
     real = mod._run_point
 
-    def flaky(cfg):
+    def flaky(cfg, det_check=False):
         attempts.append(cfg.seed)
         if cfg.seed == 99 and attempts.count(99) == 1:
             raise RuntimeError("transient worker loss")
-        return real(cfg)
+        return real(cfg, det_check)
 
     monkeypatch.setattr(mod, "_run_point", flaky)
     ex = SweepExecutor(workers=1)
@@ -168,10 +168,10 @@ def test_run_sweep_returns_partial_results(monkeypatch):
     import repro.parallel.executor as mod
     real = mod._run_point
 
-    def failing_noisy_p4(cfg):
+    def failing_noisy_p4(cfg, det_check=False):
         if cfg.nodes == 4 and cfg.noise_pattern != "quiet":
             raise RuntimeError("boom")
-        return real(cfg)
+        return real(cfg, det_check)
 
     monkeypatch.setattr(mod, "_run_point", failing_noisy_p4)
     ex = SweepExecutor(workers=1)
@@ -187,10 +187,10 @@ def test_run_sweep_reports_missing_baseline(monkeypatch):
     import repro.parallel.executor as mod
     real = mod._run_point
 
-    def failing_quiet_p4(cfg):
+    def failing_quiet_p4(cfg, det_check=False):
         if cfg.nodes == 4 and cfg.noise_pattern == "quiet":
             raise RuntimeError("baseline gone")
-        return real(cfg)
+        return real(cfg, det_check)
 
     monkeypatch.setattr(mod, "_run_point", failing_quiet_p4)
     ex = SweepExecutor(workers=1)
@@ -207,10 +207,10 @@ def test_run_comparisons_drops_orphaned_comparison(monkeypatch):
     import repro.parallel.executor as mod
     real = mod._run_point
 
-    def failing_quiet(cfg):
+    def failing_quiet(cfg, det_check=False):
         if cfg.noise_pattern == "quiet":
             raise RuntimeError("no baseline for you")
-        return real(cfg)
+        return real(cfg, det_check)
 
     monkeypatch.setattr(mod, "_run_point", failing_quiet)
     ex = SweepExecutor(workers=1)
