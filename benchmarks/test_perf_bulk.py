@@ -1,0 +1,92 @@
+"""Perf gates for the bulk-rank collective fast path.
+
+Printed measurements (run with ``--benchmark-only -s``), asserted as
+*floors* set well below healthy values so only a real regression
+trips them:
+
+* bulk-vs-generator wall-clock speedup at 4096 ranks (must be >=10x;
+  healthy is >100x);
+* rank-advancement throughput of the bulk engine (rank-repetitions
+  per second at 16384 ranks);
+* the E17 acceptance point: a 131072-rank two-level allreduce over a
+  fat-tree shape must complete in under 60 s.
+"""
+
+import time
+
+from repro.core import Machine, MachineConfig
+from repro.microbench import CollectiveBenchmark
+from repro.mpi.collectives.bulk import run_bulk
+
+import numpy as np
+
+
+def _bulk_config(P, shape=None, topology="switch"):
+    return MachineConfig(n_nodes=P, kernel="lightweight", network="seastar",
+                         topology=topology, shape=shape, seed=31)
+
+
+def test_bulk_speedup_over_generator(benchmark):
+    config = _bulk_config(4096)
+    bench = CollectiveBenchmark("allreduce", repetitions=2,
+                                message_size=8, gap_ns=500_000)
+
+    t0 = time.perf_counter()
+    res_bulk, _tl = run_bulk(config, bench)
+    bulk_s = time.perf_counter() - t0
+
+    def generator():
+        return bench.run(Machine(config))
+
+    res_gen = benchmark.pedantic(generator, rounds=1, iterations=1)
+    gen_s = benchmark.stats.stats.mean
+    speedup = gen_s / max(bulk_s, 1e-9)
+    print(f"\nbulk {bulk_s*1e3:.1f} ms vs generator {gen_s:.2f} s "
+          f"at 4096 ranks: {speedup:,.0f}x")
+    assert np.array_equal(res_bulk.times_ns, res_gen.times_ns)
+    assert speedup >= 10, (
+        f"bulk fast path regressed: only {speedup:.1f}x faster than the "
+        "generator at 4096 ranks (healthy is >100x)")
+
+
+def test_bulk_rank_advancement_floor(benchmark):
+    config = _bulk_config(16384, shape="32x32x16@fat-tree",
+                          topology="hier:32x32x16@fat-tree")
+    bench = CollectiveBenchmark("allreduce", repetitions=20,
+                                message_size=8, algorithm="two-level",
+                                gap_ns=500_000)
+
+    def run():
+        return run_bulk(config, bench)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    rank_reps = config.n_nodes * bench.repetitions
+    rate = rank_reps / elapsed
+    print(f"\nbulk advancement: {rate:,.0f} rank-repetitions/sec "
+          f"({rank_reps:,} in {elapsed:.2f} s)")
+    assert rate > 50_000, (
+        f"bulk engine regressed: {rate:,.0f} rank-reps/sec at 16384 ranks "
+        "(healthy is >150k)")
+
+
+def test_extreme_scale_under_60s(benchmark):
+    """The E17 acceptance point: 100k+ ranks, two-level allreduce on a
+    fat-tree shape, to completion in under a minute."""
+    config = _bulk_config(131072, shape="32x64x64@fat-tree",
+                          topology="hier:32x64x64@fat-tree")
+    bench = CollectiveBenchmark("allreduce", repetitions=6,
+                                message_size=8, algorithm="two-level",
+                                gap_ns=500_000)
+
+    def run():
+        return run_bulk(config, bench, tie_break="deterministic")
+
+    res, _tl = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    print(f"\n131072-rank two-level allreduce, {bench.repetitions} reps: "
+          f"{elapsed:.1f} s (mean latency {res.mean_ns/1e3:.1f} us)")
+    assert res.n_nodes == 131072
+    assert elapsed < 60, (
+        f"extreme-scale run took {elapsed:.1f} s; the 100k-rank point "
+        "must stay under a minute")

@@ -31,6 +31,14 @@ unreliable machine (``drop=0.01,dup=0.002,timeout=1ms,...`` — see
 :func:`repro.faults.parse_faults` and docs/ROBUSTNESS.md); the E15
 harness experiment sweeps this axis systematically.
 
+``compare`` and ``sweep`` also accept the topology flags:
+``--topology switch|torus:AxBxC|fat-tree|dragonfly|hier:CxNxS[@kind]``
+selects the fabric, ``--shape CxNxS[@kind]`` declares the machine's
+packaging (cores per node x nodes per switch x switches) so
+node-aware collectives know the hierarchy, and
+``--collectives allreduce=two-level,barrier=two-level`` overrides the
+per-operation algorithm table (see docs/USAGE.md and the E17 recipe).
+
 ``run``, ``all``, and ``sweep`` accept ``--workers N`` to fan
 independent simulation points over N processes (``--workers 0`` = one
 per CPU; results are bit-identical to serial) and ``--cache DIR`` to
@@ -103,6 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the metrics registry as JSON to PATH "
                             "(implies --metrics)")
 
+    def add_topology_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--topology", default="switch", metavar="SPEC",
+                       help="fabric: switch | torus:AxBxC | fat-tree | "
+                            "dragonfly | hier:CxNxS[@kind] (default "
+                            "switch; hier: uses per-level latencies from "
+                            "the machine shape)")
+        p.add_argument("--shape", default=None, metavar="CxNxS[@kind]",
+                       help="machine packaging shape, e.g. "
+                            "32x8x4@fat-tree (cores-per-node x "
+                            "nodes-per-switch x switches); required for "
+                            "two-level collectives")
+        p.add_argument("--collectives", default=None, metavar="OP=ALG,...",
+                       help="per-operation collective algorithms, e.g. "
+                            "allreduce=two-level,barrier=two-level "
+                            "(see 'repro list' for the registry)")
+
     sub.add_parser("list", help="show experiments, workloads, presets")
 
     p_run = sub.add_parser("run", help="run one harness experiment")
@@ -136,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record dependency edges and print the "
                             "critical-path attribution + quiet-vs-noisy "
                             "diff (who stole the makespan)")
+    add_topology_flags(p_cmp)
     add_obs_flags(p_cmp)
 
     p_sts = sub.add_parser(
@@ -185,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--faults", metavar="SPEC", default=None,
                        help="fault-injection spec applied to every point")
     p_swp.add_argument("--csv", metavar="PATH")
+    add_topology_flags(p_swp)
     add_execution_flags(p_swp)
     add_obs_flags(p_swp)
     return parser
@@ -276,13 +302,31 @@ def _cmd_all(args: argparse.Namespace, out: _t.TextIO) -> int:
     return 0 if all(r.passed for r in reports.values()) else 1
 
 
+def _parse_collectives(spec: str | None) -> dict[str, str] | None:
+    """Parse ``--collectives allreduce=two-level,barrier=two-level``."""
+    if spec is None:
+        return None
+    from .errors import ConfigError
+
+    table: dict[str, str] = {}
+    for item in spec.split(","):
+        op, eq, alg = item.strip().partition("=")
+        if not eq or not op or not alg:
+            raise ConfigError(
+                f"bad --collectives entry {item!r}: expected op=algorithm, "
+                "e.g. allreduce=two-level")
+        table[op] = alg
+    return table
+
+
 def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
     _apply_obs_flags(args)
     cmp = run_with_baseline(ExperimentConfig(
         app=args.app, nodes=args.nodes, noise_pattern=args.pattern,
         alignment=args.alignment, kernel=args.kernel, seed=args.seed,
         isolate_noise=args.isolate_noise, faults=args.faults,
-        critical_path=args.critical_path))
+        critical_path=args.critical_path, topology=args.topology,
+        shape=args.shape, collectives=_parse_collectives(args.collectives)))
     sd = cmp.slowdown
     out.write(format_table(
         ["app", "nodes", "pattern", "quiet ms", "noisy ms", "slowdown %",
@@ -415,7 +459,9 @@ def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
     nodes = [int(x) for x in args.nodes.split(",") if x]
     patterns = [x.strip() for x in args.patterns.split(",") if x.strip()]
     base = ExperimentConfig(app=args.app, kernel=args.kernel, seed=args.seed,
-                            faults=args.faults)
+                            faults=args.faults, topology=args.topology,
+                            shape=args.shape,
+                            collectives=_parse_collectives(args.collectives))
     records = sweep_records(base, nodes=nodes, patterns=patterns,
                             progress=lambda s: out.write(s + "\n"),
                             workers=args.workers, cache=args.cache)

@@ -43,6 +43,13 @@ class ExperimentConfig:
     kernel / network / topology:
         Machine substrate (presets or instances, as in
         :class:`~repro.core.MachineConfig`).
+    shape:
+        Optional :class:`~repro.net.MachineShape` (or its compact
+        ``"CxNxS[@kind]"`` spec) describing the node/switch hierarchy;
+        enables topology-aware collective algorithms.
+    collectives:
+        Machine-wide collective algorithm overrides, mapping operation
+        name to algorithm (e.g. ``{"allreduce": "two-level"}``).
     app_params:
         Keyword overrides for the workload factory.
     observer:
@@ -73,6 +80,8 @@ class ExperimentConfig:
     kernel: KernelConfig | str = "lightweight"
     network: LogGPParams | str = "seastar"
     topology: _t.Any = "switch"
+    shape: _t.Any = None
+    collectives: _t.Mapping[str, str] | None = None
     app_params: dict[str, _t.Any] = field(default_factory=dict)
     observer: str | None = None
     observer_overhead: OverheadModel | str | None = None
@@ -99,6 +108,7 @@ class ExperimentConfig:
                                         seed=self.seed))
         return MachineConfig(n_nodes=self.nodes, kernel=self.kernel,
                              network=self.network, topology=self.topology,
+                             shape=self.shape, collectives=self.collectives,
                              injection=injection, seed=self.seed,
                              isolate_noise=self.isolate_noise,
                              faults=self.fault_plan(),

@@ -23,7 +23,9 @@ from ..kernel import KernelConfig, Node
 from ..mpi import Communicator, MPIWorld, RankComm
 from ..net import (
     GraphTopology,
+    HierarchicalTopology,
     LogGPParams,
+    MachineShape,
     Network,
     SwitchTopology,
     Topology,
@@ -54,8 +56,19 @@ class MachineConfig:
         :class:`LogGPParams` or preset name
         (``seastar`` / ``infiniband`` / ``gige``).
     topology:
-        ``"switch"``, ``"torus:AxBxC"``, ``"fat-tree"``, or a
-        :class:`Topology` instance.
+        ``"switch"``, ``"torus:AxBxC"``, ``"fat-tree"``,
+        ``"hier:CxNxS[@kind]"`` (a :class:`MachineShape`-driven
+        hierarchy), or a :class:`Topology` instance.
+    shape:
+        Optional :class:`MachineShape` (or its ``"CxNxS[@kind]"`` spec
+        string) describing the packaging hierarchy.  Setting it with
+        the default ``"switch"`` topology switches the fabric to a
+        :class:`HierarchicalTopology` of that shape, and it is what
+        the two-level collective algorithms group ranks by.
+    collectives:
+        Optional per-operation collective algorithm overrides, e.g.
+        ``{"allreduce": "two-level", "bcast": "binomial"}``.  Unlisted
+        operations keep their defaults.
     injection:
         Synthetic noise to inject on top of the kernel's own activity
         (``None`` = only the kernel's intrinsic noise).
@@ -90,6 +103,8 @@ class MachineConfig:
     kernel: KernelConfig | str = "lightweight"
     network: LogGPParams | str = "seastar"
     topology: Topology | str = "switch"
+    shape: MachineShape | str | None = None
+    collectives: _t.Mapping[str, str] | None = None
     injection: InjectionPlan | None = None
     seed: int = 0
     reduce_cost_per_byte: float = 0.25
@@ -102,6 +117,8 @@ class MachineConfig:
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ConfigError(f"n_nodes must be > 0, got {self.n_nodes}")
+        if self.shape is not None:
+            MachineShape.parse(self.shape)  # fail fast on bad specs
         for nid, speed in (self.slow_nodes or {}).items():
             if not 0 <= nid < self.n_nodes:
                 raise ConfigError(f"slow_nodes id {nid} out of range")
@@ -119,12 +136,34 @@ class MachineConfig:
             return self.network
         return LogGPParams.preset(self.network)
 
+    def resolved_shape(self) -> MachineShape | None:
+        """The machine's packaging hierarchy, if one is configured.
+
+        Comes from the ``shape`` field, a ``"hier:..."`` topology spec,
+        or an explicit :class:`HierarchicalTopology` instance.
+        """
+        if self.shape is not None:
+            return MachineShape.parse(self.shape)
+        if isinstance(self.topology, HierarchicalTopology):
+            return self.topology.shape
+        if isinstance(self.topology, str) and self.topology.startswith("hier:"):
+            return MachineShape.parse(self.topology[len("hier:"):])
+        return None
+
     def build_topology(self) -> Topology:
         if isinstance(self.topology, Topology):
             if self.topology.n_nodes != self.n_nodes:
                 raise ConfigError("topology size does not match n_nodes")
             return self.topology
+        if self.topology.startswith("hier:"):
+            return HierarchicalTopology(
+                self.n_nodes, MachineShape.parse(self.topology[len("hier:"):]))
         if self.topology == "switch":
+            if self.shape is not None:
+                # A shape on the default fabric means "model the
+                # hierarchy": pair costs follow the shape's levels.
+                return HierarchicalTopology(self.n_nodes,
+                                            MachineShape.parse(self.shape))
             return SwitchTopology(self.n_nodes)
         if self.topology == "fat-tree":
             return GraphTopology.fat_tree_like(self.n_nodes)
@@ -192,7 +231,9 @@ class Machine:
         self.mpi = MPIWorld(self.env, self.network,
                             reduce_cost_per_byte=config.reduce_cost_per_byte,
                             faults=faults, metrics=self._obs_metrics,
-                            tracer=tracer, critpath=self.critpath)
+                            tracer=tracer, critpath=self.critpath,
+                            shape=config.resolved_shape(),
+                            collectives=config.collectives)
 
     # -- convenience accessors ------------------------------------------------
     @property

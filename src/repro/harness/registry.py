@@ -33,6 +33,7 @@ from .experiments import (
     e14_indirect_vs_direct,
     e15_fault_resilience,
     e16_critical_path,
+    e17_extreme_scale,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
@@ -48,6 +49,7 @@ _MODULES = (
     e14_indirect_vs_direct,
     e15_fault_resilience,
     e16_critical_path,
+    e17_extreme_scale,
 )
 
 #: id -> (title, run callable).

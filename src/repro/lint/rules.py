@@ -565,6 +565,73 @@ class MissingSlots(Rule):
                     "__dict__ in the event-dispatch path")
 
 
+_RANK_COUNT_TOKENS = ("n_nodes", "n_ranks", "nodes", "ranks")
+_PRECOMPUTE_HINTS = ("matrix", "precompute", "diameter", "table")
+
+
+def _is_rank_count_name(name: str) -> bool:
+    low = name.lower()
+    return low in ("p", "world_size") or any(
+        tok in low for tok in _RANK_COUNT_TOKENS)
+
+
+def _is_range_over_ranks(mod: ModuleUnderLint, iter_expr: ast.AST) -> bool:
+    """True for ``range(...)`` whose bound mentions a rank/node count."""
+    if not (isinstance(iter_expr, ast.Call)
+            and mod.resolve(iter_expr.func) == "range"):
+        return False
+    for arg in iter_expr.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and _is_rank_count_name(sub.id):
+                return True
+            if isinstance(sub, ast.Attribute) \
+                    and _is_rank_count_name(sub.attr):
+                return True
+    return False
+
+
+@rule
+class AllPairsRankLoop(Rule):
+    """O(n²) all-pairs loop over ranks outside the topology precompute.
+
+    A Python loop nested ``range(n_nodes)`` × ``range(n_nodes)`` costs
+    ~10¹⁰ iterations at 100k ranks — the exact cost class the
+    precomputed extra-latency matrix and the vectorized
+    ``extra_cost_vec`` / bulk-rank engine exist to avoid.  Express
+    pair computations as numpy array operations, or route them through
+    the topology's cached matrix (builders named ``*matrix*``,
+    ``*precompute*``, ``*diameter*``, ``*table*`` are the sanctioned
+    cache-fill exemption).
+    """
+
+    id = "PERF002"
+    severity = "warning"
+    summary = "all-pairs rank loop outside topology precompute"
+    scopes = ("sim", "host")
+
+    def check(self, mod: ModuleUnderLint) -> _t.Iterator[Finding]:
+        for outer in ast.walk(mod.tree):
+            if not (isinstance(outer, ast.For)
+                    and _is_range_over_ranks(mod, outer.iter)):
+                continue
+            func = mod.enclosing_function(outer)
+            fname = getattr(func, "name", "")
+            if any(hint in fname.lower() for hint in _PRECOMPUTE_HINTS):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer or not isinstance(inner, ast.For):
+                    continue
+                if _is_range_over_ranks(mod, inner.iter):
+                    yield self.finding(
+                        mod, inner,
+                        "nested range loop over the rank/node count is "
+                        "O(n^2) in machine size; vectorize with numpy "
+                        "(extra_cost_vec / the bulk engine) or move it "
+                        "into a cached *matrix*/*table* precompute "
+                        "builder")
+                    break
+
+
 # -- observability rule ----------------------------------------------------
 
 _TRACER_METHODS = frozenset({

@@ -110,6 +110,48 @@ class CollectiveBenchmark:
                 yield env.timeout(self.gap_ns)
 
     # -- driver ----------------------------------------------------------------------
+    def run_auto(self, config, *, mode: str = "auto",
+                 bulk_min_nodes: int = 512, tie_break: str = "strict",
+                 stats_out: dict | None = None) -> CollectiveBenchResult:
+        """Run from a :class:`repro.core.MachineConfig`, choosing a path.
+
+        ``mode="auto"`` (default) takes the bulk-rank fast path
+        (:mod:`repro.sim.bulk`) when the workload qualifies *and* the
+        machine has at least ``bulk_min_nodes`` ranks — below that the
+        generator path is already fast and exercises the full event
+        machinery; ``mode="bulk"`` requires the fast path (raising with
+        the disqualifying reason otherwise); ``mode="generator"``
+        forces the per-rank path.  Both paths produce byte-identical
+        times for any qualifying workload.  ``tie_break`` is passed to
+        the engine; the default ``"strict"`` preserves byte-identity by
+        falling back to the generator on unknowable arrival ties, while
+        ``"deterministic"`` keeps extreme-scale runs on the fast path
+        (see :func:`repro.mpi.collectives.bulk.run_bulk`).
+        """
+        if mode not in ("auto", "bulk", "generator"):
+            raise ConfigError(
+                f"mode must be auto|bulk|generator, got {mode!r}")
+        if mode != "generator":
+            from ..mpi.collectives.bulk import run_bulk, unsupported_reason
+            from ..sim.bulk import BulkDivergence
+            reason = unsupported_reason(config, self)
+            if reason is None and (mode == "bulk"
+                                   or config.n_nodes >= bulk_min_nodes):
+                try:
+                    result, _timeline = run_bulk(config, self,
+                                                 tie_break=tie_break,
+                                                 stats_out=stats_out)
+                    return result
+                except BulkDivergence:
+                    if mode == "bulk":
+                        raise
+                    # A coincidental arrival tie the static gates could
+                    # not rule out; the generator path always works.
+            if mode == "bulk":
+                raise ConfigError(f"bulk fast path unavailable: {reason}")
+        from ..core.machine import Machine
+        return self.run(Machine(config))
+
     def run(self, machine) -> CollectiveBenchResult:
         """Run on a :class:`repro.core.Machine`; returns per-rep times."""
         P = machine.n_nodes

@@ -19,6 +19,7 @@ from . import alltoall as _alltoall
 from . import barrier as _barrier
 from . import bcast as _bcast
 from . import gather as _gather
+from . import hier as _hier
 from . import reduce as _reduce
 from . import scan as _scan
 
@@ -28,13 +29,17 @@ __all__ = ["ALGORITHMS", "run", "algorithms_for"]
 ALGORITHMS: dict[tuple[str, str], _t.Callable[..., _t.Any]] = {
     ("barrier", "dissemination"): _barrier.dissemination,
     ("barrier", "linear"): _barrier.linear,
+    ("barrier", "two-level"): _hier.two_level_barrier,
     ("bcast", "binomial"): _bcast.binomial,
     ("bcast", "linear"): _bcast.linear,
+    ("bcast", "two-level"): _hier.two_level_bcast,
     ("reduce", "binomial"): _reduce.binomial,
     ("reduce", "linear"): _reduce.linear,
     ("allreduce", "recursive-doubling"): _allreduce.recursive_doubling,
     ("allreduce", "reduce-bcast"): _allreduce.reduce_bcast,
     ("allreduce", "ring"): _allreduce.ring,
+    ("allreduce", "two-level"): _hier.two_level_allreduce,
+    ("allreduce", "two-level-ring"): _hier.two_level_ring_allreduce,
     ("gather", "binomial"): _gather.gather_binomial,
     ("gather", "linear"): _gather.gather_linear,
     ("scatter", "binomial"): _gather.scatter_binomial,

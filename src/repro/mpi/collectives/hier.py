@@ -1,0 +1,281 @@
+"""Two-level (hierarchy-aware) collective algorithms.
+
+The machine's :class:`~repro.net.MachineShape` partitions ranks into
+contiguous *groups* (one physical node when nodes are multi-core, one
+leaf switch otherwise — :meth:`MachineShape.collective_group_size`).
+Each collective then runs in phases that keep most traffic inside a
+group and send only one rank per group (its *leader*, the lowest rank)
+across the expensive levels — chainermn's intra-/inter-node
+communicator split:
+
+* ``allreduce two-level`` — intra-group binomial fan-in to the leader,
+  recursive-doubling allreduce among leaders, intra-group binomial
+  broadcast of the result.
+* ``allreduce two-level-ring`` — same, with a bandwidth-optimal ring
+  among the leaders instead of recursive doubling.
+* ``bcast two-level`` — root hands to its leader, binomial bcast among
+  leaders, intra-group binomial bcast.
+* ``barrier two-level`` — intra-group fan-in, dissemination among
+  leaders, intra-group release.
+
+All phases are real point-to-point rounds, so noise amplification
+emerges from the (shallower, mostly-local) dependency tree exactly as
+in the flat algorithms.  Every algorithm here has a round-for-round
+mirror in :mod:`repro.mpi.collectives.bulk`; changes must be made in
+both places (the equivalence tests enforce it).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ...errors import MPIError
+from ...sim import Event
+from .common import combine
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..comm import RankComm
+
+__all__ = ["two_level_allreduce", "two_level_ring_allreduce",
+           "two_level_bcast", "two_level_barrier", "group_geometry"]
+
+_Op = _t.Callable[[_t.Any, _t.Any], _t.Any]
+
+
+def group_geometry(ctx: "RankComm") -> tuple[int, int, int, int, int]:
+    """This rank's place in the shape's group partition.
+
+    Returns ``(group_size, gid, base, gsize, n_groups)`` where ranks
+    ``base .. base+gsize-1`` form this rank's group and rank ``base``
+    is its leader.  Raises when the machine has no configured shape.
+    """
+    shape = ctx.world.shape
+    if shape is None:
+        raise MPIError(
+            "two-level collectives need a machine shape; set "
+            "MachineConfig(shape=...) or a 'hier:...' topology")
+    g = shape.collective_group_size()
+    P = ctx.size
+    gid = ctx.rank // g
+    base = gid * g
+    gsize = min(g, P - base)
+    n_groups = (P + g - 1) // g
+    return g, gid, base, gsize, n_groups
+
+
+# -- intra-group building blocks ---------------------------------------------
+
+def _intra_fanin(ctx: "RankComm", tag: int, base: int, gsize: int, *,
+                 size: int, acc: _t.Any, op: _Op | None, reduce_data: bool
+                 ) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial fan-in to the group leader (``base``).
+
+    Non-leaders send once and stop participating; the leader (and
+    interior tree ranks) receive from children at ascending bit
+    offsets, combining when ``reduce_data`` is set.
+    """
+    vrank = ctx.rank - base
+    mask = 1
+    while mask < gsize:
+        if vrank & mask:
+            yield from ctx.send(base + (vrank - mask), size, tag=tag,
+                                payload=acc if reduce_data else None)
+            break
+        partner = vrank + mask
+        if partner < gsize:
+            msg = yield from ctx.recv(base + partner, tag=tag)
+            if reduce_data:
+                acc = yield from combine(ctx, op, acc, msg.payload, size)
+        mask <<= 1
+    return acc
+
+
+def _intra_bcast(ctx: "RankComm", tag: int, base: int, gsize: int, *,
+                 size: int, payload: _t.Any
+                 ) -> _t.Generator[Event, object, _t.Any]:
+    """Binomial broadcast from the group leader (``base``)."""
+    vrank = ctx.rank - base
+    mask = 1
+    while mask < gsize:
+        if vrank & mask:
+            msg = yield from ctx.recv(base + (vrank & ~mask), tag=tag)
+            payload = msg.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask >= 1:
+        if vrank + mask < gsize:
+            yield from ctx.send(base + vrank + mask, size, tag=tag,
+                                payload=payload)
+        mask >>= 1
+    return payload
+
+
+# -- leader-phase building blocks --------------------------------------------
+
+def _allreduce_over(ctx: "RankComm", tag: int, ranks: _t.Sequence[int],
+                    idx: int, *, size: int, acc: _t.Any, op: _Op | None
+                    ) -> _t.Generator[Event, object, _t.Any]:
+    """MPICH recursive doubling over an explicit participant list.
+
+    ``ranks[idx] == ctx.rank``; tags ``tag .. tag+2`` (fold /
+    exchange / unfold), mirroring the flat algorithm.
+    """
+    n = len(ranks)
+    if n == 1:
+        return acc
+    pof2 = 1 << (n.bit_length() - 1)
+    rem = n - pof2
+
+    if idx < 2 * rem:
+        if idx % 2 == 0:
+            yield from ctx.send(ranks[idx + 1], size, tag=tag, payload=acc)
+            newidx = -1
+        else:
+            msg = yield from ctx.recv(ranks[idx - 1], tag=tag)
+            acc = yield from combine(ctx, op, acc, msg.payload, size)
+            newidx = idx // 2
+    else:
+        newidx = idx - rem
+
+    if newidx != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newidx ^ mask
+            partner = (partner_new * 2 + 1 if partner_new < rem
+                       else partner_new + rem)
+            msg = yield from ctx.sendrecv(ranks[partner], ranks[partner],
+                                          size, tag=tag + 1, payload=acc)
+            acc = yield from combine(ctx, op, acc, msg.payload, size)
+            mask <<= 1
+
+    if idx < 2 * rem:
+        if idx % 2 == 1:
+            yield from ctx.send(ranks[idx - 1], size, tag=tag + 2, payload=acc)
+        else:
+            msg = yield from ctx.recv(ranks[idx + 1], tag=tag + 2)
+            acc = msg.payload
+    return acc
+
+
+def _ring_over(ctx: "RankComm", tag: int, ranks: _t.Sequence[int],
+               idx: int, *, size: int, acc: _t.Any, op: _Op | None
+               ) -> _t.Generator[Event, object, _t.Any]:
+    """Ring allreduce over an explicit participant list (scalar path).
+
+    Reduce-scatter rounds on ``tag`` (each contribution combined
+    exactly once as it passes), allgather rounds on ``tag+1`` for
+    their timing cost — the flat ring's scalar mode.
+    """
+    n = len(ranks)
+    if n == 1:
+        return acc
+    block = max(1, size // n)
+    right = ranks[(idx + 1) % n]
+    left = ranks[(idx - 1) % n]
+    carry = acc
+    for _ in range(n - 1):
+        msg = yield from ctx.sendrecv(right, left, block, tag=tag,
+                                      payload=carry)
+        carry = msg.payload
+        acc = yield from combine(ctx, op, acc, carry, block)
+    for _ in range(n - 1):
+        yield from ctx.sendrecv(right, left, block, tag=tag + 1, payload=None)
+    return acc
+
+
+# -- registered algorithms ----------------------------------------------------
+
+def _two_level_allreduce(ctx: "RankComm", tag: int, *, size: int,
+                         payload: _t.Any, op: _Op | None, leader_kind: str
+                         ) -> _t.Generator[Event, object, _t.Any]:
+    g, gid, base, gsize, n_groups = group_geometry(ctx)
+    if ctx.size == 1:
+        return payload
+    acc = yield from _intra_fanin(ctx, tag, base, gsize, size=size,
+                                  acc=payload, op=op, reduce_data=True)
+    if ctx.rank == base:
+        leaders = [i * g for i in range(n_groups)]
+        if leader_kind == "ring":
+            acc = yield from _ring_over(ctx, tag + 1, leaders, gid,
+                                        size=size, acc=acc, op=op)
+        else:
+            acc = yield from _allreduce_over(ctx, tag + 1, leaders, gid,
+                                             size=size, acc=acc, op=op)
+    return (yield from _intra_bcast(ctx, tag + 4, base, gsize, size=size,
+                                    payload=acc))
+
+
+def two_level_allreduce(ctx: "RankComm", tag: int, *, size: int,
+                        payload: _t.Any, op: _Op | None
+                        ) -> _t.Generator[Event, object, _t.Any]:
+    """Fan-in → recursive doubling among leaders → intra bcast."""
+    return (yield from _two_level_allreduce(ctx, tag, size=size,
+                                            payload=payload, op=op,
+                                            leader_kind="rd"))
+
+
+def two_level_ring_allreduce(ctx: "RankComm", tag: int, *, size: int,
+                             payload: _t.Any, op: _Op | None
+                             ) -> _t.Generator[Event, object, _t.Any]:
+    """Fan-in → ring among leaders → intra bcast."""
+    return (yield from _two_level_allreduce(ctx, tag, size=size,
+                                            payload=payload, op=op,
+                                            leader_kind="ring"))
+
+
+def two_level_bcast(ctx: "RankComm", tag: int, *, size: int, root: int,
+                    payload: _t.Any) -> _t.Generator[Event, object, _t.Any]:
+    """Root → its leader → binomial over leaders → intra bcast."""
+    g, gid, base, gsize, n_groups = group_geometry(ctx)
+    if ctx.size == 1:
+        return payload
+    root_gid = root // g
+    root_leader = root_gid * g
+    # Phase 1: the root hands its data to its group leader.
+    if root != root_leader:
+        if ctx.rank == root:
+            yield from ctx.send(root_leader, size, tag=tag, payload=payload)
+        elif ctx.rank == root_leader:
+            msg = yield from ctx.recv(root, tag=tag)
+            payload = msg.payload
+    # Phase 2: binomial bcast over the leaders, rooted at root's group.
+    if ctx.rank == base:
+        vg = (gid - root_gid) % n_groups
+        mask = 1
+        while mask < n_groups:
+            if vg & mask:
+                parent = (((vg & ~mask) + root_gid) % n_groups) * g
+                msg = yield from ctx.recv(parent, tag=tag + 1)
+                payload = msg.payload
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask >= 1:
+            if vg + mask < n_groups:
+                child = (((vg + mask) + root_gid) % n_groups) * g
+                yield from ctx.send(child, size, tag=tag + 1, payload=payload)
+            mask >>= 1
+    # Phase 3: every leader broadcasts within its group (the original
+    # root receives its own data back — one extra local hop, by design:
+    # the tree stays uniform).
+    return (yield from _intra_bcast(ctx, tag + 2, base, gsize, size=size,
+                                    payload=payload))
+
+
+def two_level_barrier(ctx: "RankComm", tag: int
+                      ) -> _t.Generator[Event, object, None]:
+    """Fan-in → dissemination among leaders → intra release."""
+    g, gid, base, gsize, n_groups = group_geometry(ctx)
+    if ctx.size == 1:
+        return
+    yield from _intra_fanin(ctx, tag, base, gsize, size=0, acc=None,
+                            op=None, reduce_data=False)
+    if ctx.rank == base:
+        dist = 1
+        while dist < n_groups:
+            dest = ((gid + dist) % n_groups) * g
+            src = ((gid - dist) % n_groups) * g
+            yield from ctx.sendrecv(dest, src, size=0, tag=tag + 1)
+            dist <<= 1
+    yield from _intra_bcast(ctx, tag + 2, base, gsize, size=0, payload=None)

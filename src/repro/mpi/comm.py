@@ -50,6 +50,23 @@ _COLL_OPS = COLLECTIVE_OPS
 #: Tag sub-slots one collective invocation may use for internal phases.
 _PHASES_PER_CALL = 8
 
+#: Machine-wide default algorithm per collective operation.  A
+#: :class:`MPIWorld` built with ``collectives={op: name}`` overrides
+#: entries; a per-call ``algorithm=`` argument overrides both.
+_DEFAULT_ALGORITHMS: dict[str, str] = {
+    "barrier": "dissemination",
+    "bcast": "binomial",
+    "reduce": "binomial",
+    "allreduce": "recursive-doubling",
+    "gather": "binomial",
+    "scatter": "binomial",
+    "allgather": "ring",
+    "alltoall": "pairwise",
+    "scan": "binomial",
+    "exscan": "binomial",
+    "reduce_scatter": "pairwise",
+}
+
 
 @dataclass(frozen=True)
 class Communicator:
@@ -88,7 +105,9 @@ class MPIWorld:
     def __init__(self, env: Environment, network: Network, *,
                  reduce_cost_per_byte: float = 0.25,
                  faults: _t.Any = None, metrics: bool = False,
-                 tracer: _t.Any = None, critpath: _t.Any = None) -> None:
+                 tracer: _t.Any = None, critpath: _t.Any = None,
+                 shape: _t.Any = None,
+                 collectives: _t.Mapping[str, str] | None = None) -> None:
         self.env = env
         self.network = network
         self.nodes: list[Node] = network.nodes
@@ -120,9 +139,35 @@ class MPIWorld:
         if reduce_cost_per_byte < 0:
             raise MPIError("reduce_cost_per_byte must be >= 0")
         self.reduce_cost_per_byte = reduce_cost_per_byte
+        #: Machine packaging hierarchy (:class:`repro.net.MachineShape`
+        #: or ``None``); the two-level collective algorithms group
+        #: ranks by it.
+        self.shape = shape
+        #: Per-operation algorithm overrides (validated eagerly so a
+        #: typo fails at machine build, not mid-run).
+        self.collectives = dict(collectives) if collectives else {}
+        if self.collectives:
+            from .collectives import ALGORITHMS, algorithms_for
+            for op, name in self.collectives.items():
+                if op not in _DEFAULT_ALGORITHMS:
+                    raise MPIError(
+                        f"unknown collective operation {op!r}; expected one "
+                        f"of {sorted(_DEFAULT_ALGORITHMS)}")
+                if (op, name) not in ALGORITHMS:
+                    raise MPIError(
+                        f"unknown {op} algorithm {name!r}; available: "
+                        f"{algorithms_for(op)}")
         self._next_comm_id = 1
         #: COMM_WORLD: rank i lives on node i.
         self.world = Communicator(0, tuple(range(len(self.nodes))))
+
+    def algorithm_for(self, op: str) -> str:
+        """The algorithm ``op`` runs with when the call site names none."""
+        try:
+            default = _DEFAULT_ALGORITHMS[op]
+        except KeyError:
+            raise MPIError(f"unknown collective operation {op!r}") from None
+        return self.collectives.get(op, default)
 
     def send_message(self, msg: Message) -> None:
         """Put one point-to-point message on the wire (via the reliable
@@ -278,9 +323,13 @@ class RankComm:
         return _t.cast(Message, msg)
 
     # -- collectives (dispatch into repro.mpi.collectives) ---------------------------
-    def _collective(self, opname: str, algorithm: str,
+    def _collective(self, opname: str, algorithm: str | None,
                     **kwargs: _t.Any):
         """Count, tag, and dispatch one collective invocation.
+
+        ``algorithm=None`` (every call site's default) resolves through
+        the machine-wide table: per-op ``MachineConfig.collectives``
+        overrides, else the built-in default.
 
         When an ``mpi``-category tracer is active the returned
         generator is wrapped so the invocation appears as one span per
@@ -288,6 +337,8 @@ class RankComm:
         trace.
         """
         from . import collectives
+        if algorithm is None:
+            algorithm = self.world.algorithm_for(opname)
         self._count(opname)
         gen = collectives.run(opname, algorithm, self,
                               self._coll_tag(opname), **kwargs)
@@ -303,65 +354,65 @@ class RankComm:
                         tid=self.node_id, args=("rank", self.rank))
         return result
 
-    def barrier(self, *, algorithm: str = "dissemination"):
+    def barrier(self, *, algorithm: str | None = None):
         """Synchronize all ranks of the communicator."""
         return self._collective("barrier", algorithm)
 
     def bcast(self, size: int, *, root: int = 0, payload: _t.Any = None,
-              algorithm: str = "binomial"):
+              algorithm: str | None = None):
         """Broadcast ``size`` bytes from ``root``; returns the payload."""
         return self._collective("bcast", algorithm, size=size, root=root,
                                 payload=payload)
 
     def reduce(self, size: int, *, root: int = 0, payload: _t.Any = None,
                op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
-               algorithm: str = "binomial"):
+               algorithm: str | None = None):
         """Reduce to ``root``; non-roots return ``None``."""
         return self._collective("reduce", algorithm, size=size, root=root,
                                 payload=payload, op=op)
 
     def allreduce(self, size: int, *, payload: _t.Any = None,
                   op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
-                  algorithm: str = "recursive-doubling"):
+                  algorithm: str | None = None):
         """Reduce + distribute; every rank returns the combined payload."""
         return self._collective("allreduce", algorithm, size=size,
                                 payload=payload, op=op)
 
     def gather(self, size: int, *, root: int = 0, payload: _t.Any = None,
-               algorithm: str = "binomial"):
+               algorithm: str | None = None):
         """Gather per-rank payloads to ``root`` (rank-ordered list)."""
         return self._collective("gather", algorithm, size=size, root=root,
                                 payload=payload)
 
     def scatter(self, size: int, *, root: int = 0,
                 payloads: _t.Sequence[_t.Any] | None = None,
-                algorithm: str = "binomial"):
+                algorithm: str | None = None):
         """Scatter one ``size``-byte block from ``root`` to each rank."""
         return self._collective("scatter", algorithm, size=size, root=root,
                                 payloads=payloads)
 
     def allgather(self, size: int, *, payload: _t.Any = None,
-                  algorithm: str = "ring"):
+                  algorithm: str | None = None):
         """All ranks end with every rank's block (rank-ordered list)."""
         return self._collective("allgather", algorithm, size=size,
                                 payload=payload)
 
     def alltoall(self, size: int, *, payloads: _t.Sequence[_t.Any] | None = None,
-                 algorithm: str = "pairwise"):
+                 algorithm: str | None = None):
         """Personalized exchange: block ``i`` goes to rank ``i``."""
         return self._collective("alltoall", algorithm, size=size,
                                 payloads=payloads)
 
     def scan(self, size: int, *, payload: _t.Any = None,
              op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
-             algorithm: str = "binomial"):
+             algorithm: str | None = None):
         """Inclusive prefix reduction: rank r returns op over ranks 0..r."""
         return self._collective("scan", algorithm, size=size,
                                 payload=payload, op=op)
 
     def exscan(self, size: int, *, payload: _t.Any = None,
                op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
-               algorithm: str = "binomial"):
+               algorithm: str | None = None):
         """Exclusive prefix reduction (rank 0 returns ``None``)."""
         return self._collective("exscan", algorithm, size=size,
                                 payload=payload, op=op)
@@ -369,7 +420,7 @@ class RankComm:
     def reduce_scatter(self, size: int, *,
                        payloads: _t.Sequence[_t.Any] | None = None,
                        op: _t.Callable[[_t.Any, _t.Any], _t.Any] | None = None,
-                       algorithm: str = "pairwise"):
+                       algorithm: str | None = None):
         """Equal-block reduce-scatter: rank i returns the reduction of
         everyone's block i (``size`` = bytes per block)."""
         return self._collective("reduce_scatter", algorithm, size=size,

@@ -11,9 +11,11 @@ from .loggp import LogGPParams
 from .message import Message
 from .network import Network
 from .nic import NIC, RX_SOURCE
-from .topology import GraphTopology, SwitchTopology, Topology, TorusTopology
+from .topology import (FatTreeTopology, GraphTopology, HierarchicalTopology,
+                       MachineShape, SwitchTopology, Topology, TorusTopology)
 
 __all__ = [
     "LogGPParams", "Message", "Network", "NIC", "RX_SOURCE",
     "Topology", "SwitchTopology", "TorusTopology", "GraphTopology",
+    "FatTreeTopology", "HierarchicalTopology", "MachineShape",
 ]

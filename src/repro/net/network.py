@@ -77,6 +77,13 @@ class Network:
                 f"topology is sized for {self.topology.n_nodes} nodes but the "
                 f"machine has {len(self.nodes)}")
         self.seed = seed
+        #: Precomputed pair-cost lookup: ``inject`` runs once per
+        #: message, so the per-pair extra latency is resolved here to a
+        #: dense matrix index (or skipped entirely on zero-extra
+        #: fabrics) instead of a Python call chain per message.
+        self._zero_extra = self.topology.zero_extra
+        self._extra_mat = (None if self._zero_extra
+                           else self.topology.extra_latency_matrix())
         #: Wire-level fault policy (``None`` = perfectly reliable; the
         #: zero-fault fast path must stay bit-identical, so every fault
         #: check below is gated on this being set).
@@ -149,8 +156,13 @@ class Network:
             raise ConfigError(f"message src {msg.src} out of range")
         msg.sent_at = self.env.now
         departure = self.nics[msg.src].tx_ready_time(msg.size)
-        wire = self.params.wire_time(
-            msg.size, self.topology.extra_latency(msg.src, msg.dst))
+        if self._zero_extra:
+            extra = 0
+        elif self._extra_mat is not None:
+            extra = int(self._extra_mat[msg.src, msg.dst])
+        else:
+            extra = self.topology.extra_cost(msg.src, msg.dst, msg.size)
+        wire = self.params.wire_time(msg.size, extra)
         self._injections += 1
         if self.params.jitter_ns:
             # Deterministic per-message jitter: same seed, same run.

@@ -94,6 +94,33 @@ class InjectionPlan:
             raise ConfigError(f"n_nodes must be > 0, got {n_nodes}")
         return [self.source_for(i, n_nodes) for i in range(n_nodes)]
 
+    def periodic_profile(self, n_nodes: int):
+        """The plan's strictly-periodic form, when it has one.
+
+        Returns ``(period, duration, phases)`` — shared period/duration
+        in ns plus an int64 array of per-node phases, drawn with the
+        exact streams :meth:`source_for` uses — when every node's
+        source is a :class:`PeriodicNoise`; ``(0, 0, None)`` for a
+        quiet (null) pattern; ``None`` for stochastic, burst, or
+        custom-factory patterns.  This is the contract the bulk-rank
+        fast path (:mod:`repro.sim.bulk`) vectorizes over.
+        """
+        if n_nodes <= 0:
+            raise ConfigError(f"n_nodes must be > 0, got {n_nodes}")
+        if callable(self.pattern):
+            return None
+        probe = parse_pattern(self.pattern, seed=node_seed(self.seed, 0))
+        if isinstance(probe, NullNoise):
+            return (0, 0, None)
+        if not isinstance(probe, PeriodicNoise):
+            return None
+        import numpy as np
+        phases = np.fromiter(
+            (self._phase_for(i, n_nodes, probe.period)
+             for i in range(n_nodes)),
+            dtype=np.int64, count=n_nodes)
+        return (probe.period, probe.duration, phases)
+
     # -- internals -------------------------------------------------------------
     def _phase_for(self, node_id: int, n_nodes: int, period: int) -> int:
         if period <= 0 or self.alignment == "synchronized":

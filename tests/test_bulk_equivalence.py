@@ -1,0 +1,196 @@
+"""Bulk-rank fast path vs per-rank generator: byte-identity contract.
+
+Every case runs the same benchmark twice — vectorized
+(:func:`repro.mpi.collectives.bulk.run_bulk`) and through the DES
+generator path — and asserts the full per-rank repetition timelines,
+derived times, and timeline checksums are byte-identical.  Cases where
+the engine legitimately raises :class:`BulkDivergence` (coincidental
+consequential arrival ties) instead assert the ``run_auto`` fallback
+returns the generator's exact result.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import Machine, MachineConfig
+from repro.errors import ConfigError
+from repro.microbench import CollectiveBenchmark
+from repro.mpi.collectives.bulk import run_bulk, unsupported_reason
+from repro.noise import InjectionPlan
+from repro.sim.bulk import BulkDivergence, timelines_from_finish
+
+SH = "1x4x2@fat-tree"
+REPS = 5
+
+
+def _config(P, pattern=None, alignment="random", shape=None,
+            topology="switch", seed=31):
+    injection = (InjectionPlan(pattern, alignment=alignment, seed=seed)
+                 if pattern else None)
+    return MachineConfig(n_nodes=P, kernel="lightweight", network="seastar",
+                         topology=topology, shape=shape,
+                         injection=injection, seed=seed)
+
+
+def _bench(op="allreduce", algo=None, reps=REPS):
+    return CollectiveBenchmark(op, repetitions=reps, message_size=8,
+                               algorithm=algo, gap_ns=500_000)
+
+
+def _generator_timeline(config, bench):
+    finish = [{} for _ in range(bench.repetitions)]
+    machine = Machine(config)
+    procs = machine.launch(lambda ctx: bench._program(ctx, finish))
+    machine.run_to_completion(procs)
+    return timelines_from_finish(finish, config.n_nodes)
+
+
+CASES = {
+    "flat-rd-4": dict(P=4),
+    "flat-rd-16": dict(P=16),
+    "flat-rd-64": dict(P=64),
+    "barrier-7": dict(P=7, op="barrier"),
+    "bcast-binomial-7": dict(P=7, op="bcast", algo="binomial"),
+    "noisy-fine-random": dict(P=16, pattern="2.5pct@1000Hz"),
+    "noisy-coarse-staggered": dict(P=16, pattern="2.5pct@100Hz",
+                                   alignment="staggered"),
+    "noisy-sync-barrier": dict(P=16, op="barrier", pattern="2.5pct@1000Hz",
+                               alignment="synchronized"),
+    "two-level-16": dict(P=16, algo="two-level", shape=SH),
+    "two-level-ring-ragged-18": dict(P=18, algo="two-level-ring", shape=SH),
+    "two-level-barrier-18": dict(P=18, op="barrier", algo="two-level",
+                                 shape=SH),
+    "two-level-noisy": dict(P=16, algo="two-level", shape=SH,
+                            pattern="2.5pct@1000Hz"),
+    "hier-fabric": dict(P=16, topology="hier:1x4x2@fat-tree"),
+    "torus": dict(P=16, topology="torus:4x2x2"),
+    "fat-tree-noisy": dict(P=16, topology="fat-tree",
+                           pattern="2.5pct@1000Hz"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_bulk_matches_generator(name):
+    case = dict(CASES[name])
+    op = case.pop("op", "allreduce")
+    algo = case.pop("algo", None)
+    config = _config(**case)
+    bench = _bench(op, algo)
+    assert unsupported_reason(config, bench) is None
+
+    try:
+        res_b, tl_b = run_bulk(config, bench)
+    except BulkDivergence:
+        # A consequential exact-nanosecond tie the static gates cannot
+        # rule out: the auto path must fall back to the generator.
+        res_auto = bench.run_auto(config, bulk_min_nodes=1)
+        res_gen = bench.run(Machine(config))
+        assert np.array_equal(res_auto.times_ns, res_gen.times_ns)
+        return
+
+    tl_g = _generator_timeline(config, bench)
+    assert np.array_equal(tl_b.starts, tl_g.starts)
+    assert np.array_equal(tl_b.ends, tl_g.ends)
+    assert tl_b.checksum() == tl_g.checksum()
+    res_gen = bench.run(Machine(config))
+    assert np.array_equal(res_b.times_ns, res_gen.times_ns)
+
+
+# -- divergence fallback and tie policy ---------------------------------------
+def test_known_tie_divergence_falls_back():
+    """32 ranks under 100 Hz noise hits a full arrival tie (equal send
+    instants on a release wave): strict mode must raise and run_auto
+    must return the generator's exact result."""
+    config = _config(32, pattern="2.5pct@100Hz")
+    bench = _bench()
+    with pytest.raises(BulkDivergence):
+        run_bulk(config, bench, tie_break="strict")
+    res_auto = bench.run_auto(config, bulk_min_nodes=1)
+    res_gen = bench.run(Machine(config))
+    assert np.array_equal(res_auto.times_ns, res_gen.times_ns)
+
+
+def test_deterministic_tie_break_is_reproducible():
+    config = _config(32, pattern="2.5pct@100Hz")
+    stats_a, stats_b = {}, {}
+    _res_a, tl_a = run_bulk(config, _bench(), tie_break="deterministic",
+                            stats_out=stats_a)
+    _res_b, tl_b = run_bulk(config, _bench(), tie_break="deterministic",
+                            stats_out=stats_b)
+    assert tl_a.checksum() == tl_b.checksum()
+    assert stats_a == stats_b
+    assert stats_a["tie_breaks"] > 0
+
+
+def test_run_auto_modes():
+    config = _config(16)
+    bench = _bench()
+    auto = bench.run_auto(config)          # 16 < bulk_min_nodes: generator
+    forced = bench.run_auto(config, mode="bulk")
+    gen = bench.run_auto(config, mode="generator")
+    assert np.array_equal(auto.times_ns, gen.times_ns)
+    assert np.array_equal(forced.times_ns, gen.times_ns)
+    with pytest.raises(ConfigError):
+        bench.run_auto(_config(16, pattern="2.5pct@100HzPoisson"),
+                       mode="bulk")
+    with pytest.raises(ConfigError):
+        bench.run_auto(config, mode="nonsense")
+
+
+# -- serial vs worker processes ----------------------------------------------
+def _worker_det_checksum(P, pattern):
+    from repro.core import ExperimentConfig, run_experiment
+    obs.disable()
+    obs.configure(det_check=True)
+    try:
+        cfg = ExperimentConfig(app="bsp", nodes=P, noise_pattern=pattern,
+                               seed=7,
+                               app_params={"work_ns": 200_000,
+                                           "iterations": 4})
+        result = run_experiment(cfg)
+        return result.meta["det_check"]
+    finally:
+        obs.disable()
+
+
+def test_timeline_checksums_serial_vs_workers():
+    """The generator timelines (and hence the bulk-equivalence
+    contract) are identical whether points run in-process or in
+    worker processes."""
+    names = ["flat-rd-16", "noisy-fine-random", "two-level-16"]
+    serial = {}
+    for name in names:
+        case = dict(CASES[name])
+        op = case.pop("op", "allreduce")
+        algo = case.pop("algo", None)
+        serial[name] = _generator_timeline(_config(**case),
+                                           _bench(op, algo)).checksum()
+    with ProcessPoolExecutor(2) as pool:
+        pooled = dict(pool.map(_pool_entry, names))
+    assert serial == pooled
+
+
+def _pool_entry(name):
+    case = dict(CASES[name])
+    op = case.pop("op", "allreduce")
+    algo = case.pop("algo", None)
+    return name, _generator_timeline(_config(**case),
+                                     _bench(op, algo)).checksum()
+
+
+def test_det_check_serial_vs_workers():
+    """obs det_check checksums match between an in-process run and a
+    worker-process run of the same noisy configuration."""
+    args = [(4, "quiet"), (4, "2.5pct@100Hz")]
+    serial = [_worker_det_checksum(*a) for a in args]
+    with ProcessPoolExecutor(2) as pool:
+        pooled = list(pool.map(_det_entry, args))
+    assert serial == pooled
+    assert all(isinstance(v, int) and v != 0 for v in serial)
+
+
+def _det_entry(args):
+    return _worker_det_checksum(*args)

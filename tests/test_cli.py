@@ -64,6 +64,23 @@ def test_compare_and_sweep_fault_specs_parse():
     assert args.faults == "dup=0.002"
 
 
+def test_topology_flags_round_trip():
+    from repro.cli import _parse_collectives
+
+    args = build_parser().parse_args(
+        ["compare", "--nodes", "8",
+         "--topology", "hier:2x2x2@fat-tree", "--shape", "2x2x2@fat-tree",
+         "--collectives", "allreduce=two-level,barrier=two-level"])
+    assert args.topology == "hier:2x2x2@fat-tree"
+    assert args.shape == "2x2x2@fat-tree"
+    assert _parse_collectives(args.collectives) == {
+        "allreduce": "two-level", "barrier": "two-level"}
+    args = build_parser().parse_args(["sweep", "--nodes", "2,4"])
+    assert args.topology == "switch"
+    assert args.shape is None
+    assert _parse_collectives(args.collectives) is None
+
+
 def test_stats_defaults_to_metrics_on():
     args = build_parser().parse_args(["stats", "--nodes", "4"])
     assert args.command == "stats"
@@ -102,6 +119,20 @@ def test_malformed_pattern_grammar_is_an_error():
 
 def test_malformed_faults_spec_is_an_error():
     code, text = run_cli(["compare", "--nodes", "2", "--faults", "zorp=1"])
+    assert code == 2
+    assert "error:" in text
+
+
+def test_malformed_collectives_spec_is_an_error():
+    code, text = run_cli(["compare", "--nodes", "2",
+                          "--collectives", "allreduce"])
+    assert code == 2
+    assert "error:" in text and "op=algorithm" in text
+
+
+def test_unknown_collective_algorithm_is_an_error():
+    code, text = run_cli(["compare", "--nodes", "2",
+                          "--collectives", "allreduce=zorp"])
     assert code == 2
     assert "error:" in text
 

@@ -311,6 +311,61 @@ def test_perf001_only_applies_to_hot_path_modules():
                     path="repro/analysis/fixture.py") == []
 
 
+# -- PERF002: all-pairs rank loops -------------------------------------------
+
+def test_perf002_flags_nested_rank_range_loops():
+    src = """
+        def all_pair_costs(topo, n_nodes):
+            out = []
+            for a in range(n_nodes):
+                for b in range(n_nodes):
+                    out.append(topo.extra_latency(a, b))
+            return out
+    """
+    found = findings(src, path="repro/net/fixture.py")
+    assert [f.rule for f in found] == ["PERF002"]
+    assert found[0].severity == "warning"
+
+
+def test_perf002_sees_attribute_bounds_and_host_scope():
+    src = """
+        def audit(self):
+            for a in range(self.n_nodes):
+                for b in range(self.n_nodes):
+                    self.check(a, b)
+    """
+    assert rule_ids(src, scope="host",
+                    path="repro/harness/fixture.py") == ["PERF002"]
+
+
+def test_perf002_exempts_precompute_builders():
+    src = """
+        def _build_extra_matrix(self):
+            for a in range(self.n_nodes):
+                for b in range(self.n_nodes):
+                    self.mat[a][b] = self.extra_latency(a, b)
+
+        def _pair_table(self, n_ranks):
+            for a in range(n_ranks):
+                for b in range(n_ranks):
+                    yield a, b
+    """
+    assert rule_ids(src, path="repro/net/fixture.py") == []
+
+
+def test_perf002_silent_on_single_loops_and_other_bounds():
+    src = """
+        def fine(n_nodes, phases):
+            for a in range(n_nodes):
+                total = a * 2
+            for p in range(len(phases)):
+                for q in range(4):
+                    total += p * q
+            return total
+    """
+    assert rule_ids(src, path="repro/net/fixture.py") == []
+
+
 # -- OBS001: ungated telemetry ----------------------------------------------
 
 def test_obs001_flags_ungated_registry_and_tracer():

@@ -1,0 +1,117 @@
+"""MachineShape and hierarchical-topology unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import MachineConfig
+from repro.errors import ConfigError
+from repro.net import (
+    FatTreeTopology,
+    HierarchicalTopology,
+    MachineShape,
+    SwitchTopology,
+    TorusTopology,
+)
+
+
+# -- spec parsing ------------------------------------------------------------
+def test_parse_spec_roundtrip():
+    shape = MachineShape.parse("4x16x8@dragonfly")
+    assert shape.cores_per_node == 4
+    assert shape.nodes_per_switch == 16
+    assert shape.switches_per_group == 8
+    assert shape.kind == "dragonfly"
+    assert shape.describe() == "4x16x8@dragonfly"
+    # Idempotent on an instance; default kind is fat-tree.
+    assert MachineShape.parse(shape) is shape
+    assert MachineShape.parse("1x32x8").kind == "fat-tree"
+
+
+@pytest.mark.parametrize("bad", ["32x8", "ax2x3", "1x2x3@mesh", "0x2x3"])
+def test_parse_spec_rejects(bad):
+    with pytest.raises(ConfigError):
+        MachineShape.parse(bad)
+
+
+def test_level_of_matches_vectorized():
+    shape = MachineShape.parse("2x4x2@fat-tree")
+    n = shape.ranks_per_group * 2  # two full groups = 32 ranks
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    vec = shape.level_of_vec(src.ravel(), dst.ravel()).reshape(n, n)
+    for a in range(n):
+        for b in range(n):
+            assert vec[a, b] == shape.level_of(a, b)
+    # Spot-check the level semantics.
+    assert shape.level_of(0, 0) == 0    # same rank
+    assert shape.level_of(0, 1) == 1    # same node (2 cores/node)
+    assert shape.level_of(0, 2) == 2    # same switch
+    assert shape.level_of(0, 8) == 3    # same group, other switch
+    assert shape.level_of(0, 16) == 4   # cross-group
+
+
+def test_collective_group_size_prefers_node_then_switch():
+    assert MachineShape.parse("8x4x2").collective_group_size() == 8
+    assert MachineShape.parse("1x32x8").collective_group_size() == 32
+
+
+# -- hierarchical topology costs ---------------------------------------------
+def test_hierarchical_extra_latency_per_level():
+    topo = HierarchicalTopology(32, "2x4x2@fat-tree")
+    lat = MachineShape.parse("2x4x2@fat-tree").level_latency_ns
+    assert topo.extra_latency(0, 0) == 0
+    assert topo.extra_latency(0, 1) == lat[0]
+    assert topo.extra_latency(0, 2) == lat[1]
+    assert topo.extra_latency(0, 8) == lat[2]
+    assert topo.extra_latency(0, 16) == lat[3]
+
+
+def test_hierarchical_extra_cost_vec_matches_scalar():
+    topo = HierarchicalTopology(64, "2x4x2@dragonfly")
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, 64, size=200)
+    dst = rng.integers(0, 64, size=200)
+    vec = topo.extra_cost_vec(src, dst, 8)
+    for i in range(len(src)):
+        assert vec[i] == topo.extra_cost(int(src[i]), int(dst[i]), 8)
+
+
+# -- precomputed pair lookups -------------------------------------------------
+def test_extra_matrix_cached_and_consistent():
+    topo = TorusTopology((4, 4, 4), hop_latency_ns=50)
+    mat = topo.extra_latency_matrix()
+    assert mat is not None and mat.shape == (64, 64)
+    assert topo.extra_latency_matrix() is mat  # built once, cached
+    for a, b in ((0, 0), (0, 1), (3, 60), (17, 42)):
+        assert mat[a, b] == topo.extra_latency(a, b)
+
+
+def test_extra_matrix_skipped_when_zero_or_huge():
+    assert SwitchTopology(64).extra_latency_matrix() is None  # zero extra
+    big = HierarchicalTopology(131072, "32x64x64@fat-tree")
+    assert big.extra_latency_matrix() is None  # beyond the dense cap
+    # ... but vectorized per-pair lookups still work at that size.
+    out = big.extra_cost_vec(np.array([0, 0]), np.array([1, 131071]))
+    assert out.tolist() == [big.extra_cost(0, 1), big.extra_cost(0, 131071)]
+
+
+def test_diameter_cached():
+    topo = FatTreeTopology(32)
+    d = topo.diameter_hops
+    assert d >= 1
+    assert topo.diameter_hops == d
+    assert topo._diameter == d  # memoized, not recomputed
+
+
+# -- MachineConfig integration -----------------------------------------------
+def test_machine_config_hier_topology_spec():
+    cfg = MachineConfig(n_nodes=16, topology="hier:1x4x2@fat-tree")
+    topo = cfg.build_topology()
+    assert isinstance(topo, HierarchicalTopology)
+    assert cfg.resolved_shape() == MachineShape.parse("1x4x2@fat-tree")
+
+
+def test_machine_config_shape_on_default_fabric():
+    cfg = MachineConfig(n_nodes=16, shape="1x4x2@fat-tree")
+    assert isinstance(cfg.build_topology(), HierarchicalTopology)
+    with pytest.raises(ConfigError):
+        MachineConfig(n_nodes=16, shape="not-a-shape")
