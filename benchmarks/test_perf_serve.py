@@ -1,0 +1,182 @@
+"""Load test for the experiment server.
+
+Replays >= 1000 concurrent mixed compare/sweep requests against a warm
+:class:`~repro.serve.BackgroundServer` from a single asyncio loop
+(:func:`~repro.serve.submit_async` holds every request open at once)
+and gates on the service-level properties the ISSUE pins down:
+
+* p99 request wall time stays under a loose floor once the working
+  set is warm — served-from-cache requests must not queue behind the
+  process pool;
+* cache hit rate: the request mix revisits a small set of distinct
+  points, so the overwhelming majority of point consumptions must be
+  answered by dedup or the on-disk cache, not fresh simulation;
+* dedupe effectiveness: identical in-flight jobs collapse — the
+  number of *simulations* equals the number of *distinct points* in
+  the mix, exactly.
+
+Thresholds are perf floors (set well below healthy values), not shape
+checks.  Run with ``--benchmark-only -s`` to see the numbers.
+"""
+
+import asyncio
+import json
+import statistics
+import time
+
+from repro.serve import BackgroundServer, ServeClient, job_records, submit_async
+
+#: Cheap point: ~10 ms of simulated work, so 1000 requests stay fast.
+_PARAMS = {"work_ns": 500_000, "iterations": 10}
+
+#: The replay mix: 8 distinct jobs over 9 distinct simulation points
+#: (3 quiet baselines shared across jobs, 6 noisy cells), cycled to
+#: build the request
+#: list.  Mixed kinds and overlapping points are the point — overlap is
+#: what exercises dedup and the cache.
+_JOBS = [
+    {"kind": "compare", "app": "bsp", "nodes": 4,
+     "pattern": "2.5pct@10Hz", "seed": 7, "app_params": _PARAMS},
+    {"kind": "compare", "app": "bsp", "nodes": 4,
+     "pattern": "2.5pct@100Hz", "seed": 7, "app_params": _PARAMS},
+    {"kind": "compare", "app": "bsp", "nodes": 8,
+     "pattern": "2.5pct@10Hz", "seed": 7, "app_params": _PARAMS},
+    {"kind": "sweep", "app": "bsp", "nodes": [4, 8],
+     "patterns": ["quiet", "2.5pct@10Hz"], "seed": 7,
+     "app_params": _PARAMS},
+    {"kind": "sweep", "app": "bsp", "nodes": [4, 8],
+     "patterns": ["2.5pct@10Hz", "2.5pct@100Hz"], "seed": 7,
+     "app_params": _PARAMS},
+    {"kind": "compare", "app": "bsp", "nodes": 16,
+     "pattern": "2.5pct@10Hz", "seed": 7, "app_params": _PARAMS},
+    {"kind": "sweep", "app": "bsp", "nodes": [16],
+     "patterns": ["quiet", "2.5pct@100Hz"], "seed": 7,
+     "app_params": _PARAMS},
+    {"kind": "compare", "app": "bsp", "nodes": 8,
+     "pattern": "2.5pct@100Hz", "seed": 7, "app_params": _PARAMS},
+]
+
+#: Every distinct simulation point the mix can possibly touch.
+_DISTINCT_POINTS = 9
+
+N_REQUESTS = 1000
+CONCURRENCY = 64
+
+#: p99 floor for warm (cache/dedup-dominated) requests.  Loose: a
+#: healthy run serves warm requests in single-digit milliseconds.
+P99_FLOOR_S = 2.0
+
+
+async def _replay(host, port, jobs):
+    """Fire all jobs with a bounded-concurrency gate; return
+    ``(latencies_s, event_lists)`` in submission order."""
+    gate = asyncio.Semaphore(CONCURRENCY)
+    latencies = [0.0] * len(jobs)
+    results = [None] * len(jobs)
+
+    async def one(i, job):
+        async with gate:
+            t0 = time.perf_counter()
+            events = await submit_async(host, port, job)
+            latencies[i] = time.perf_counter() - t0
+            results[i] = events
+
+    await asyncio.gather(*[one(i, j) for i, j in enumerate(jobs)])
+    return latencies, results
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[idx]
+
+
+def test_serve_load_1000_concurrent_requests(benchmark, tmp_path):
+    jobs = [_JOBS[i % len(_JOBS)] for i in range(N_REQUESTS)]
+
+    with BackgroundServer(workers=2, cache=str(tmp_path)) as bg:
+        host, port = bg.address
+        client = ServeClient(host, port)
+        # Warm pass: every distinct point simulated exactly once.
+        for job in _JOBS:
+            _, stats = client.records(job)
+            assert stats["errors"] == 0
+        warm = client.metrics()["serve"]
+        assert warm["points_simulated"] == _DISTINCT_POINTS, (
+            f"warm pass simulated {warm['points_simulated']} points, "
+            f"expected exactly {_DISTINCT_POINTS} (dedup broken?)")
+
+        def replay():
+            return asyncio.run(_replay(host, port, jobs))
+
+        latencies, results = benchmark.pedantic(replay, rounds=1,
+                                                iterations=1)
+        after = client.metrics()["serve"]
+
+    # -- every request completed with a coherent stream ---------------------
+    assert all(r is not None for r in results)
+    blobs = {}
+    for job, events in zip(jobs, results):
+        records, stats = job_records(events)
+        assert stats and stats["errors"] == 0
+        key = json.dumps(job, sort_keys=True)
+        blob = json.dumps(records, sort_keys=True)
+        assert blobs.setdefault(key, blob) == blob, (
+            "identical jobs returned different records under load")
+
+    # -- dedupe effectiveness: zero fresh simulations under load ------------
+    simulated = after["points_simulated"] - warm["points_simulated"]
+    consumed = after["points_total"] - warm["points_total"]
+    served = (after["points_cached"] + after["points_deduped"]
+              - warm["points_cached"] - warm["points_deduped"])
+    hit_rate = served / consumed
+    assert simulated == 0, (
+        f"{simulated} points re-simulated under load despite a fully "
+        "warm cache")
+    assert hit_rate >= 0.999, f"cache+dedup hit rate {hit_rate:.4f}"
+
+    # -- latency ------------------------------------------------------------
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    wall = max(latencies)
+    print(f"\nserve load: {N_REQUESTS} requests, concurrency "
+          f"{CONCURRENCY}: p50 {p50 * 1e3:.1f}ms  p99 {p99 * 1e3:.1f}ms  "
+          f"max {wall * 1e3:.1f}ms  mean "
+          f"{statistics.fmean(latencies) * 1e3:.1f}ms")
+    print(f"serve load: consumed {consumed} points, hit rate "
+          f"{hit_rate:.4f}, requests_total {after['requests_total']}")
+    assert p99 < P99_FLOOR_S, (
+        f"p99 latency {p99:.3f}s breaches the {P99_FLOOR_S}s floor for "
+        "warm requests")
+
+
+def test_serve_identical_burst_simulates_once(benchmark, tmp_path):
+    """100 identical jobs arriving together -> exactly 2 simulations
+    (the noisy point and its quiet twin), everything else joined."""
+    job = {"kind": "compare", "app": "bsp", "nodes": 4,
+           "pattern": "2.5pct@10Hz", "seed": 11, "app_params": _PARAMS}
+
+    with BackgroundServer(workers=2, cache=str(tmp_path)) as bg:
+        host, port = bg.address
+        client = ServeClient(host, port)
+
+        def burst():
+            return asyncio.run(_replay(host, port, [job] * 100))
+
+        latencies, results = benchmark.pedantic(burst, rounds=1,
+                                                iterations=1)
+        serve = client.metrics()["serve"]
+
+    blobs = set()
+    for events in results:
+        records, stats = job_records(events)
+        assert stats["errors"] == 0
+        blobs.add(json.dumps(records, sort_keys=True))
+    assert len(blobs) == 1
+    assert serve["points_simulated"] == 2, (
+        f"burst of identical jobs simulated {serve['points_simulated']} "
+        "points; in-flight dedup should collapse them to 2")
+    print(f"\nidentical burst: simulated {serve['points_simulated']}, "
+          f"deduped {serve['points_deduped']}, cached "
+          f"{serve['points_cached']}, p99 "
+          f"{_percentile(latencies, 0.99) * 1e3:.1f}ms")

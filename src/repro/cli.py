@@ -25,6 +25,13 @@ Commands
     static analyzer, over a source tree (defaults to ``src/repro``).
     Same engine as ``python -m repro.lint``; see
     docs/STATIC_ANALYSIS.md for the rule catalog.
+``serve [--port 8750] [--workers N] [--cache DIR]``
+    Run the asyncio experiment server: compare/sweep jobs over HTTP
+    with streamed results, in-flight dedup, and a sharded shared
+    result cache (see docs/SERVICE.md).
+``submit [--compare] --app pop --nodes 4,16 --patterns ...``
+    Submit a job to a running server and print the same table
+    ``sweep`` prints (results are byte-identical for equal configs).
 
 ``compare`` and ``sweep`` accept ``--faults SPEC`` to run on an
 unreliable machine (``drop=0.01,dup=0.002,timeout=1ms,...`` — see
@@ -198,6 +205,36 @@ def build_parser() -> argparse.ArgumentParser:
     from .lint.cli import add_lint_arguments
 
     add_lint_arguments(p_lnt)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the experiment server (sweep-as-a-service)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8750,
+                       help="listen port (0 = ephemeral)")
+    p_srv.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="worker processes (default 0 = one per CPU)")
+    p_srv.add_argument("--cache", metavar="DIR", default=None,
+                       help="shared sharded result cache directory "
+                            "(safe to share with CLI sweeps)")
+    p_srv.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write the /metrics document here on shutdown")
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a compare/sweep job to a running server")
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=8750)
+    p_sub.add_argument("--compare", action="store_true",
+                       help="submit a single comparison instead of a sweep "
+                            "(uses the first --nodes / --patterns entry)")
+    p_sub.add_argument("--app", default="bsp", choices=workload_names())
+    p_sub.add_argument("--nodes", default="4,16,64",
+                       help="comma-separated node counts")
+    p_sub.add_argument("--patterns", default="2.5pct@10Hz,2.5pct@1000Hz",
+                       help="comma-separated noise patterns")
+    p_sub.add_argument("--kernel", default="lightweight")
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument("--faults", metavar="SPEC", default=None)
+    p_sub.add_argument("--csv", metavar="PATH")
 
     p_swp = sub.add_parser("sweep", help="scaling sweep with baselines")
     p_swp.add_argument("--app", default="bsp", choices=workload_names())
@@ -450,8 +487,111 @@ def _cmd_characterize(args: argparse.Namespace, out: _t.TextIO) -> int:
 
 
 
-def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
+def _cmd_serve(args: argparse.Namespace, out: _t.TextIO) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from .obs import runtime as _obs
+    from .serve import ExperimentServer
+
+    server = ExperimentServer(workers=args.workers, cache=args.cache)
+    server.warm()  # fork workers before the event loop starts
+    _obs.configure(metrics=True)
+
+    def _terminate(signum: int, frame: _t.Any) -> None:
+        # Graceful shutdown on SIGTERM too: non-interactive shells
+        # start background jobs with SIGINT ignored (POSIX), so a CI
+        # step's plain `kill` must also take the metrics-dump path.
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+
+    async def _main() -> None:
+        srv = await server.start(args.host, args.port)
+        addr = srv.sockets[0].getsockname()
+        out.write(f"serving on http://{addr[0]}:{addr[1]} "
+                  f"(workers={server.executor.workers}, "
+                  f"cache={args.cache or 'off'})\n")
+        async with srv:
+            await srv.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        out.write("shutting down\n")
+    finally:
+        server.close()
+        if args.metrics_json:
+            with open(args.metrics_json, "w") as f:
+                json.dump(server.metrics_doc(), f, indent=2, sort_keys=True)
+                f.write("\n")
+            out.write(f"metrics written to {args.metrics_json}\n")
+    return 0
+
+
+def _sweep_table(records: list[dict[str, _t.Any]], app: str,
+                 out: _t.TextIO, csv: str | None) -> None:
+    """The sweep result table (shared by ``sweep`` and ``submit``)."""
     from .analysis import format_csv
+
+    headers = ["app", "nodes", "pattern", "makespan ms", "slowdown %",
+               "amplification"]
+    rows = []
+    for r in records:
+        rows.append([r["app"], r["nodes"], r["pattern"],
+                     round(r["makespan_ns"] / 1e6, 3),
+                     round(r.get("slowdown_pct", 0.0), 2),
+                     round(r["amplification"], 2)
+                     if "amplification" in r else None])
+    out.write(format_table(headers, rows, title=f"sweep: {app}"))
+    if csv:
+        keys = sorted({k for r in records for k in r})
+        with open(csv, "w") as f:
+            f.write(format_csv(keys, [[r.get(k) for k in keys]
+                                      for r in records]))
+        out.write(f"csv written to {csv}\n")
+
+
+def _cmd_submit(args: argparse.Namespace, out: _t.TextIO) -> int:
+    from .serve import ServeClient, job_records
+
+    nodes = [int(x) for x in args.nodes.split(",") if x]
+    patterns = [x.strip() for x in args.patterns.split(",") if x.strip()]
+    job: dict[str, _t.Any] = {"app": args.app, "kernel": args.kernel,
+                              "seed": args.seed}
+    if args.faults:
+        job["faults"] = args.faults
+    if args.compare:
+        job.update(kind="compare", nodes=nodes[0], pattern=patterns[0])
+    else:
+        job.update(kind="sweep", nodes=nodes, patterns=patterns)
+
+    client = ServeClient(args.host, args.port)
+    records = []
+    stats = {}
+
+    def _events() -> _t.Iterator[dict[str, _t.Any]]:
+        for event in client.submit(job):
+            if event.get("event") == "point":
+                out.write(f"{event['label']} ({event['outcome']}, "
+                          f"{event['elapsed_s']:.2f}s)\n")
+            elif event.get("event") == "error":
+                out.write(f"{event['label']} failed ({event['kind']}): "
+                          f"{event['message']}\n")
+            yield event
+
+    records, stats = job_records(_events())
+    _sweep_table(records, args.app, out, args.csv)
+    out.write(f"server: {stats.get('simulated', 0)} simulated, "
+              f"{stats.get('cached', 0)} cached, "
+              f"{stats.get('deduped', 0)} deduped, "
+              f"{stats.get('errors', 0)} errors "
+              f"in {stats.get('wall_s', 0.0):.2f}s\n")
+    return 1 if stats.get("errors") else 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
     from .core import sweep_records
 
     _apply_obs_flags(args)
@@ -465,22 +605,7 @@ def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
     records = sweep_records(base, nodes=nodes, patterns=patterns,
                             progress=lambda s: out.write(s + "\n"),
                             workers=args.workers, cache=args.cache)
-    headers = ["app", "nodes", "pattern", "makespan ms", "slowdown %",
-               "amplification"]
-    rows = []
-    for r in records:
-        rows.append([r["app"], r["nodes"], r["pattern"],
-                     round(r["makespan_ns"] / 1e6, 3),
-                     round(r.get("slowdown_pct", 0.0), 2),
-                     round(r["amplification"], 2)
-                     if "amplification" in r else None])
-    out.write(format_table(headers, rows, title=f"sweep: {args.app}"))
-    if args.csv:
-        keys = sorted({k for r in records for k in r})
-        with open(args.csv, "w") as f:
-            f.write(format_csv(keys, [[r.get(k) for k in keys]
-                                      for r in records]))
-        out.write(f"csv written to {args.csv}\n")
+    _sweep_table(records, args.app, out, args.csv)
     if args.metrics:
         from .obs import runtime as _obs
 
@@ -509,6 +634,15 @@ def main(argv: _t.Sequence[str] | None = None,
             return _cmd_characterize(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "submit":
+            try:
+                return _cmd_submit(args, out)
+            except ConnectionError as exc:
+                out.write(f"error: cannot reach server at "
+                          f"{args.host}:{args.port}: {exc}\n")
+                return 2
         if args.command == "lint":
             from .lint.cli import run_lint
 

@@ -55,7 +55,7 @@ SIM_PACKAGES = frozenset({
 
 #: Sub-packages that legitimately touch host facilities (wall clock,
 #: process pools, filesystem); DET rules do not apply.
-HOST_PACKAGES = frozenset({"parallel", "harness", "lint"})
+HOST_PACKAGES = frozenset({"parallel", "harness", "lint", "serve"})
 
 #: Top-level single modules that are host-scoped.
 _HOST_MODULES = frozenset({"cli.py", "__main__.py"})

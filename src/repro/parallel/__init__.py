@@ -27,7 +27,13 @@ Quick taste::
 or simply ``repro.core.sweep(..., workers=4, cache=...)``.
 """
 
-from .cache import CacheStats, ResultCache, config_key, config_token
+from .cache import (
+    CacheStats,
+    ResultCache,
+    ShardedResultCache,
+    config_key,
+    config_token,
+)
 from .executor import (
     PointTiming,
     SweepExecutor,
@@ -37,5 +43,6 @@ from .executor import (
 
 __all__ = [
     "SweepExecutor", "SweepStats", "PointTiming", "normalized_quiet_twin",
-    "ResultCache", "CacheStats", "config_key", "config_token",
+    "ResultCache", "ShardedResultCache", "CacheStats",
+    "config_key", "config_token",
 ]

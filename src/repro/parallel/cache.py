@@ -32,12 +32,19 @@ import json
 import os
 import pickle
 import tempfile
+import time
 import typing as _t
 from pathlib import Path
 
 from .. import __version__
 
-__all__ = ["MISS", "CacheStats", "ResultCache", "config_key", "config_token"]
+__all__ = ["MISS", "CacheStats", "ResultCache", "ShardedResultCache",
+           "config_key", "config_token"]
+
+#: Orphaned ``*.tmp`` files older than this are swept opportunistically
+#: (a worker killed between ``mkstemp`` and ``os.replace`` leaves them
+#: behind; anything this stale can never be replaced into place).
+TMP_MAX_AGE_S = 3600.0
 
 
 class _Miss:
@@ -73,8 +80,15 @@ def config_token(obj: _t.Any) -> _t.Any:
                   for f in dataclasses.fields(obj)}
         return (type(obj).__qualname__, sorted(fields.items()))
     if isinstance(obj, dict):
-        return ("dict", sorted((str(k), config_token(v))
-                               for k, v in obj.items()))
+        # Sort by the JSON encoding of the *typed* key token and keep
+        # the token in the payload — keying by str(k) would collapse
+        # {1: x} and {"1": x} onto one cache key (the set-token
+        # collision PR 2 fixed, in dict form).
+        items = [(config_token(k), config_token(v))
+                 for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], separators=(",", ":"),
+                                             sort_keys=True))
+        return ("dict", items)
     if isinstance(obj, (list, tuple)):
         return ("seq", [config_token(v) for v in obj])
     if isinstance(obj, (set, frozenset)):
@@ -133,14 +147,42 @@ class ResultCache:
     """
 
     def __init__(self, root: str | os.PathLike[str],
-                 *, version: str = __version__) -> None:
+                 *, version: str = __version__,
+                 tmp_max_age_s: float = TMP_MAX_AGE_S) -> None:
         self.root = Path(root)
         self.version = version
         self.stats = CacheStats()
+        self.tmp_max_age_s = tmp_max_age_s
+        if self._dir.is_dir():
+            self.sweep_stale_tmp()
 
     @property
     def _dir(self) -> Path:
         return self.root / f"v{self.version}"
+
+    def sweep_stale_tmp(self, max_age_s: float | None = None) -> int:
+        """Remove orphaned ``*.tmp`` litter older than ``max_age_s``.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` leaves a
+        temp file that no code path ever revisits; long-lived shared
+        caches would otherwise grow them without bound.  The sweep is
+        age-gated so in-flight writes by concurrent processes are never
+        touched.  Returns the number of files removed.
+        """
+        if max_age_s is None:
+            max_age_s = self.tmp_max_age_s
+        removed = 0
+        if not self._dir.is_dir():
+            return removed
+        cutoff = time.time() - max_age_s
+        for p in self._dir.rglob("*.tmp"):
+            try:
+                if p.stat().st_mtime < cutoff:
+                    p.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with a concurrent writer/sweeper
+        return removed
 
     def key(self, config: _t.Any) -> str:
         return config_key(config, salt=self.version)
@@ -173,9 +215,9 @@ class ResultCache:
 
     def put(self, config: _t.Any, value: _t.Any) -> None:
         """Store ``value`` under ``config``'s key (atomic replace)."""
-        self._dir.mkdir(parents=True, exist_ok=True)
         path = self._path(config)
-        fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
@@ -204,18 +246,104 @@ class ResultCache:
     def __len__(self) -> int:
         if not self._dir.is_dir():
             return 0
-        return sum(1 for p in self._dir.iterdir() if p.suffix == ".pkl")
+        return sum(1 for _ in self._dir.rglob("*.pkl"))
 
     def clear(self) -> int:
-        """Delete every entry for this version; returns the count."""
+        """Delete every entry for this version; returns the count.
+
+        Also sweeps orphaned stale ``*.tmp`` files (age-gated) so a
+        cleared cache directory really is empty of litter.
+        """
         removed = 0
         if self._dir.is_dir():
-            for p in self._dir.iterdir():
-                if p.suffix == ".pkl":
-                    p.unlink(missing_ok=True)
-                    removed += 1
+            for p in list(self._dir.rglob("*.pkl")):
+                p.unlink(missing_ok=True)
+                removed += 1
+            self.sweep_stale_tmp()
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<ResultCache {self._dir} entries={len(self)} "
+        return (f"<{type(self).__name__} {self._dir} entries={len(self)} "
                 f"hits={self.stats.hits} misses={self.stats.misses}>")
+
+
+class ShardedResultCache(ResultCache):
+    """A :class:`ResultCache` with prefix-sharded entry directories.
+
+    Entries live under ``<root>/v<version>/<key[:width]>/<key>.pkl``
+    instead of one flat directory, so hot shared caches (the experiment
+    server's above all) never scan or ``readdir`` a single directory
+    with hundreds of thousands of files.  The write protocol is the
+    same temp-file + ``os.replace`` dance, temp files are created
+    inside the target shard, and keys are identical to the flat
+    layout — a sharded and a flat cache rooted at the same directory
+    serve the same entries, which makes the layouts safe to migrate
+    between and the cache safe to share between server and CLI.
+
+    Any flat-layout entries found at init are migrated into their
+    shards with atomic renames (concurrent readers see either the old
+    or the new path, both of which this class consults).
+    """
+
+    def __init__(self, root: str | os.PathLike[str],
+                 *, version: str = __version__,
+                 shard_width: int = 2,
+                 tmp_max_age_s: float = TMP_MAX_AGE_S) -> None:
+        if not 1 <= shard_width <= 8:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                f"shard_width must be in 1..8, got {shard_width}")
+        self.shard_width = shard_width
+        super().__init__(root, version=version, tmp_max_age_s=tmp_max_age_s)
+        if self._dir.is_dir():
+            self.migrate_flat()
+
+    def _path(self, config: _t.Any) -> Path:
+        key = self.key(config)
+        return self._dir / key[:self.shard_width] / f"{key}.pkl"
+
+    def get(self, config: _t.Any, default: _t.Any = None) -> _t.Any:
+        value = super().get(config, MISS)
+        if value is not MISS:
+            return value
+        # Fall back to a not-yet-migrated flat entry (e.g. written by
+        # an older CLI sharing this directory); promote it on sight.
+        key = self.key(config)
+        flat = self._dir / f"{key}.pkl"
+        if flat.is_file():
+            try:
+                with open(flat, "rb") as f:
+                    value = pickle.load(f)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                flat.unlink(missing_ok=True)
+                return default
+            self.stats.misses -= 1  # super().get counted a miss
+            self.stats.hits += 1
+            self._promote(flat)
+            return value
+        return default
+
+    def _promote(self, flat: Path) -> None:
+        """Move one flat-layout entry into its shard (atomic rename)."""
+        shard = self._dir / flat.name[:self.shard_width]
+        shard.mkdir(exist_ok=True)
+        try:
+            os.replace(flat, shard / flat.name)
+        except OSError:
+            pass  # raced with a concurrent migrator; entry still served
+
+    def migrate_flat(self) -> int:
+        """Shard every flat-layout ``*.pkl`` entry; returns the count.
+
+        Renames are atomic and idempotent, so concurrent migrators (a
+        server and a CLI starting together) are safe: each entry ends
+        up in its shard exactly once.
+        """
+        migrated = 0
+        for p in self._dir.iterdir():
+            if p.is_file() and p.suffix == ".pkl":
+                self._promote(p)
+                migrated += 1
+        return migrated

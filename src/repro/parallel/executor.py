@@ -46,19 +46,28 @@ def _is_quiet(pattern: str) -> bool:
 
 
 def _run_point(config: ExperimentConfig,
-               det_check: bool = False) -> tuple[RunResult, float]:
-    """Worker entry point: one simulation, with its wall-clock cost.
+               det_check: bool = False) -> tuple[RunResult, float, float]:
+    """Worker entry point: one simulation, with true start/end stamps.
 
     Top-level so it pickles into pool workers.  ``det_check`` forwards
     the parent's ``obs.configure(det_check=True)`` switch explicitly:
     per-process obs state is inherited under fork but not spawn, and
     the serial/workers checksum comparison needs both paths to agree.
+
+    Returns ``(result, start, end)`` where the timestamps are absolute
+    ``time.perf_counter()`` readings.  ``perf_counter`` is
+    CLOCK_MONOTONIC-backed and machine-wide on the platforms we run
+    on, so worker-side stamps are directly comparable with the
+    parent's and sweep trace spans show *true* worker occupancy —
+    deriving a start as "collection time minus elapsed" misplaces
+    spans of pooled futures that finished long before they were
+    collected in plan order.
     """
     if det_check and not _obs.det_check_enabled():
         _obs.configure(det_check=True)
     t0 = time.perf_counter()
     result = _t.cast(RunResult, run_experiment(config))
-    return result, time.perf_counter() - t0
+    return result, t0, time.perf_counter()
 
 
 def normalized_quiet_twin(config: ExperimentConfig) -> ExperimentConfig:
@@ -179,8 +188,8 @@ class SweepExecutor:
     """
 
     def __init__(self, workers: int | None = 1,
-                 cache: ResultCache | str | os.PathLike[str] | None = None
-                 ) -> None:
+                 cache: ResultCache | str | os.PathLike[str] | None = None,
+                 *, persistent: bool = False) -> None:
         if workers is None or workers == 0:
             workers = os.cpu_count() or 1
         if workers < 0:
@@ -193,12 +202,84 @@ class SweepExecutor:
             # An empty path would silently cache into ./v<version>/.
             self.cache = None
         else:
-            self.cache = ResultCache(cache)
+            from .cache import ShardedResultCache
+
+            self.cache = ShardedResultCache(cache)
+        #: Keep one process pool alive across fan-outs (the experiment
+        #: server's mode): repeated small jobs stop paying pool
+        #: creation, and :meth:`submit_config` becomes available.
+        self.persistent = bool(persistent)
+        self._pool: ProcessPoolExecutor | None = None
         #: Stats of the most recent :meth:`run_sweep` call.
         self.last_stats: SweepStats | None = None
         #: Per-point errors of the most recent fan-out, keyed like its
         #: ``configs`` mapping (empty when every point succeeded).
         self.last_errors: dict[_t.Any, PointError] = {}
+
+    # -- persistent pool ---------------------------------------------------
+    def ensure_pool(self) -> ProcessPoolExecutor:
+        """The long-lived pool (created on first use; ``persistent``
+        executors only)."""
+        if not self.persistent:
+            raise ConfigError(
+                "ensure_pool()/submit_config() need SweepExecutor("
+                "persistent=True)")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def warm(self) -> None:
+        """Spawn the persistent pool's workers now (and verify they
+        answer).  Servers call this before going async so worker
+        processes are forked from a quiet main thread."""
+        fut = self.ensure_pool().submit(int, 0)
+        fut.result()
+
+    def submit_config(self, config: ExperimentConfig
+                      ) -> "_t.Any":
+        """Submit one simulation to the persistent pool.
+
+        Returns the :class:`concurrent.futures.Future` resolving to
+        ``(RunResult, start, end)`` — the async seam the experiment
+        server bridges with :func:`asyncio.wrap_future`.  No cache
+        interaction happens here; callers own lookup and store.
+        """
+        return self.ensure_pool().submit(_run_point, config,
+                                         _obs.det_check_enabled())
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc: _t.Any) -> None:
+        self.close()
+
+    def _collect(self, futures: _t.Mapping[_t.Any, _t.Any],
+                 record: _t.Callable[[_t.Any, RunResult, float, float], None],
+                 failed: dict[_t.Any, BaseException]) -> None:
+        """Drain pooled futures into ``record``/``failed``."""
+        broken = False
+        for key, fut in futures.items():
+            try:
+                result, t0, t1 = fut.result()
+            except (Exception, BrokenExecutor) as exc:
+                # BrokenExecutor: the worker process died (OOM,
+                # segfault); every sibling future fails too and
+                # each gets its serial retry in the caller.
+                broken = broken or isinstance(exc, BrokenExecutor)
+                failed[key] = exc
+                continue
+            record(key, result, t0, t1)
+        if broken and self._pool is not None:
+            # A broken persistent pool never recovers; drop it so the
+            # next fan-out (or submit_config) builds a fresh one.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     # -- generic fan-out ---------------------------------------------------
     def run_configs(self, configs: _t.Mapping[_t.Any, ExperimentConfig],
@@ -240,42 +321,41 @@ class SweepExecutor:
         if tracer is not None and not tracer.enabled("sweep"):
             tracer = None
 
-        def record(key: _t.Any, result: RunResult, elapsed: float) -> None:
+        def record(key: _t.Any, result: RunResult,
+                   start: float, end: float) -> None:
+            elapsed = end - start
             served[key] = result
             timings[key] = PointTiming(labels.get(key, str(key)),
                                        elapsed, cached=False)
             if tracer is not None:
-                # Span start is approximated as completion minus cost —
-                # exact for serial execution, good enough for pooled
-                # points whose futures are collected in plan order.
+                # True worker-side start/end stamps: pooled futures are
+                # collected in plan order, so "collection time minus
+                # cost" would shift/overlap spans and misrepresent
+                # worker occupancy.
                 tracer.host_span("sweep", labels.get(key, str(key)),
-                                 time.perf_counter() - elapsed, elapsed)
+                                 start, elapsed)
             if progress:
                 progress(f"{labels.get(key, key)} ({elapsed:.2f}s)")
 
-        if pending and self.workers == 1:
+        if pending and self.workers == 1 and not self.persistent:
             for key, cfg in pending.items():
                 try:
-                    result, elapsed = _run_point(cfg, det_check)
+                    result, t0, t1 = _run_point(cfg, det_check)
                 except Exception as exc:
                     failed[key] = exc
                     continue
-                record(key, result, elapsed)
+                record(key, result, t0, t1)
+        elif pending and self.persistent:
+            pool = self.ensure_pool()
+            futures = {key: pool.submit(_run_point, cfg, det_check)
+                       for key, cfg in pending.items()}
+            self._collect(futures, record, failed)
         elif pending:
             n_workers = min(self.workers, len(pending))
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 futures = {key: pool.submit(_run_point, cfg, det_check)
                            for key, cfg in pending.items()}
-                for key, fut in futures.items():
-                    try:
-                        result, elapsed = fut.result()
-                    except (Exception, BrokenExecutor) as exc:
-                        # BrokenExecutor: the worker process died (OOM,
-                        # segfault); every sibling future fails too and
-                        # each gets its serial retry below.
-                        failed[key] = exc
-                        continue
-                    record(key, result, elapsed)
+                self._collect(futures, record, failed)
 
         errors: dict[_t.Any, PointError] = {}
         for key, first_exc in failed.items():
@@ -284,14 +364,14 @@ class SweepExecutor:
                 progress(f"{label} failed "
                          f"({type(first_exc).__name__}); retrying serially")
             try:
-                result, elapsed = _run_point(pending[key], det_check)
+                result, t0, t1 = _run_point(pending[key], det_check)
             except Exception as exc:
                 errors[key] = PointError(label, type(exc).__name__,
                                          str(exc), retried=True)
                 if progress:
                     progress(f"{label} failed permanently: {exc}")
                 continue
-            record(key, result, elapsed)
+            record(key, result, t0, t1)
 
         if self.cache is not None:
             for key, cfg in pending.items():

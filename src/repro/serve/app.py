@@ -1,0 +1,405 @@
+"""The asyncio experiment server: sweep-as-a-service.
+
+:class:`ExperimentServer` turns the library's deterministic simulation
+points into a shared service: it accepts compare/sweep jobs as JSON
+(``POST /v1/jobs``), expands them through the
+:mod:`~repro.serve.planner`, fans points out over a persistent
+process-pool worker tier (the async seam around
+:class:`~repro.parallel.SweepExecutor`), and streams results back as
+chunked NDJSON while points finish.  Identical in-flight points across
+concurrent requests collapse onto one simulation
+(:class:`~repro.serve.inflight.InflightRegistry`); completed points
+are served from the sharded on-disk
+:class:`~repro.parallel.ShardedResultCache`, which the CLI can share.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: ``{"ok": true, "version": ..., "workers": N}``.
+``GET /metrics``
+    Operational counters (requests, points by outcome, dedupe and
+    cache effectiveness, queue depth) plus the
+    :mod:`repro.obs` registry snapshot when metrics are enabled.
+``POST /v1/jobs``
+    One compare/sweep job; the response streams ``point`` /
+    ``record`` / ``error`` events and a terminal ``stats`` line (see
+    :mod:`~repro.serve.protocol`).
+
+Determinism: every point runs through the exact
+:func:`~repro.parallel.executor._run_point` worker entry the CLI
+uses, so served records are byte-identical (as sorted JSON) to
+``repro sweep`` output for the same job — the property
+``tests/test_serve.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import typing as _t
+
+from .. import __version__
+from ..errors import ReproError
+from ..obs import runtime as _obs
+from ..parallel import SweepExecutor
+from ..parallel.cache import MISS, ResultCache, config_key
+from .inflight import InflightRegistry
+from .planner import Job, PointPlan, parse_job
+from .protocol import (
+    ChunkedWriter,
+    ProtocolError,
+    Request,
+    read_request,
+    write_json_response,
+)
+
+__all__ = ["ExperimentServer", "BackgroundServer"]
+
+#: Request wall-time histogram bounds (seconds).
+REQUEST_WALL_BOUNDS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0)
+
+
+class ExperimentServer:
+    """Shared, deduplicating experiment service over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes (``None``/0 = one per CPU).
+    cache:
+        Shared result cache: a directory path (roots a
+        :class:`~repro.parallel.ShardedResultCache`), a ready cache
+        instance, or ``None`` to serve without disk reuse.
+    """
+
+    def __init__(self, *, workers: int | None = None,
+                 cache: ResultCache | str | None = None) -> None:
+        self.executor = SweepExecutor(workers=workers or 0, cache=cache,
+                                      persistent=True)
+        self.inflight = InflightRegistry()
+        self.stats: dict[str, int] = {
+            "requests_total": 0, "requests_failed": 0, "jobs_compare": 0,
+            "jobs_sweep": 0, "points_total": 0, "points_simulated": 0,
+            "points_cached": 0, "points_deduped": 0, "point_errors": 0,
+        }
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+        self.active_requests = 0
+
+    # -- keys --------------------------------------------------------------
+    def point_key(self, plan_or_cfg: _t.Any) -> str:
+        """Content key for a point: identical to the cache's key, so
+        in-flight dedup and disk reuse agree on point identity."""
+        cfg = getattr(plan_or_cfg, "config", plan_or_cfg)
+        cache = self.executor.cache
+        if cache is not None:
+            return cache.key(cfg)
+        return config_key(cfg, salt=__version__)
+
+    # -- lifecycle ---------------------------------------------------------
+    def warm(self) -> None:
+        """Fork the pool workers now, from a quiet (single-threaded)
+        context, before the event loop starts."""
+        self.executor.warm()
+
+    def close(self) -> None:
+        self.executor.close()
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.Server:
+        """Bind and return the listening :class:`asyncio.Server`."""
+        return await asyncio.start_server(self._handle_connection,
+                                          host, port)
+
+    # -- point execution ---------------------------------------------------
+    async def _simulate(self, cfg: _t.Any
+                        ) -> tuple[_t.Any, str, float]:
+        """Cache-or-pool execution of one point (the in-flight task body).
+
+        Returns ``(result, outcome, elapsed_s)`` with outcome
+        ``"cached"`` or ``"simulated"``.
+        """
+        cache = self.executor.cache
+        if cache is not None:
+            cached = await asyncio.to_thread(cache.get, cfg, MISS)
+            if cached is not MISS:
+                return cached, "cached", 0.0
+        self.queue_depth += 1
+        self.queue_depth_peak = max(self.queue_depth_peak, self.queue_depth)
+        try:
+            fut = self.executor.submit_config(cfg)
+            result, t0, t1 = await asyncio.wrap_future(fut)
+        finally:
+            self.queue_depth -= 1
+        if cache is not None:
+            await asyncio.to_thread(cache.put, cfg, result)
+        return result, "simulated", t1 - t0
+
+    async def run_point(self, plan: PointPlan
+                        ) -> tuple[_t.Any, str, float]:
+        """One point with in-flight dedup: join or register, then await.
+
+        The underlying task is registry-owned and shielded, so this
+        request being cancelled never cancels a computation other
+        subscribers are waiting on.
+        """
+        key = self.point_key(plan)
+        task = self.inflight.join(key)
+        if task is not None:
+            result, _outcome, elapsed = await asyncio.shield(task)
+            self.stats["points_deduped"] += 1
+            self._count_point("deduped")
+            return result, "deduped", elapsed
+        task = self.inflight.register(
+            key, lambda: self._simulate(plan.config))
+        result, outcome, elapsed = await asyncio.shield(task)
+        self.stats[f"points_{outcome}"] += 1
+        self._count_point(outcome)
+        return result, outcome, elapsed
+
+    def _count_point(self, outcome: str) -> None:
+        self.stats["points_total"] += 1
+        if _obs.metrics_enabled():
+            reg = _obs.registry()
+            reg.counter("serve.points_total", scope="host",
+                        outcome=outcome).inc()
+            reg.gauge("serve.queue_depth_peak",
+                      scope="host").track_max(self.queue_depth_peak)
+
+    # -- job execution -----------------------------------------------------
+    async def run_job(self, job: Job,
+                      emit: _t.Callable[[dict[str, _t.Any]],
+                                        _t.Awaitable[None]]) -> None:
+        """Execute ``job``, streaming events through ``emit``.
+
+        Events are emitted in completion order (``point``), as result
+        rows become computable (``record``), and once at the end
+        (``stats``); see :mod:`~repro.serve.protocol`.
+        """
+        t0 = time.perf_counter()
+        plans = job.points()
+        completed: dict[tuple, _t.Any] = {}
+        emitted: set[tuple] = set()
+        outcomes = {"simulated": 0, "cached": 0, "deduped": 0}
+        point_errors: list[dict[str, _t.Any]] = []
+
+        async def one(plan: PointPlan) -> tuple[PointPlan, _t.Any,
+                                                str, float]:
+            result, outcome, elapsed = await self.run_point(plan)
+            return plan, result, outcome, elapsed
+
+        tasks = [asyncio.ensure_future(one(plan)) for plan in plans]
+        by_task = dict(zip(tasks, plans))
+        pending = set(tasks)
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED)
+                for task in done:
+                    plan = by_task[task]
+                    try:
+                        plan, result, outcome, elapsed = task.result()
+                    except (Exception, asyncio.CancelledError) as exc:
+                        err = {"label": plan.label,
+                               "kind": type(exc).__name__,
+                               "message": str(exc)}
+                        point_errors.append(err)
+                        self.stats["point_errors"] += 1
+                        await emit({"event": "error", **err})
+                        continue
+                    completed[plan.key] = result
+                    outcomes[outcome] += 1
+                    await emit({"event": "point", "key": list(plan.key),
+                                "label": plan.label, "outcome": outcome,
+                                "elapsed_s": round(elapsed, 6)})
+                    records, _ = job.assemble(completed)
+                    for record in records:
+                        cell = (record["nodes"], record["pattern"])
+                        if cell not in emitted:
+                            emitted.add(cell)
+                            await emit({"event": "record",
+                                        "record": record})
+        finally:
+            for task in pending:
+                task.cancel()
+
+        _, missing = job.assemble(completed)
+        for err in missing:
+            point_errors.append(err)
+            await emit({"event": "error", **err})
+        wall_s = time.perf_counter() - t0
+        await emit({"event": "stats", "kind": job.kind,
+                    "points": len(plans), "records": len(emitted),
+                    "simulated": outcomes["simulated"],
+                    "cached": outcomes["cached"],
+                    "deduped": outcomes["deduped"],
+                    "errors": len(point_errors),
+                    "wall_s": round(wall_s, 6)})
+        if _obs.metrics_enabled():
+            reg = _obs.registry()
+            reg.histogram("serve.request_wall_s", scope="host",
+                          bounds=REQUEST_WALL_BOUNDS).observe(
+                              round(wall_s, 6))
+
+    # -- HTTP --------------------------------------------------------------
+    def metrics_doc(self) -> dict[str, _t.Any]:
+        doc: dict[str, _t.Any] = {
+            "serve": {**self.stats,
+                      "inflight": len(self.inflight),
+                      "inflight_joined": self.inflight.joined,
+                      "queue_depth": self.queue_depth,
+                      "queue_depth_peak": self.queue_depth_peak,
+                      "active_requests": self.active_requests,
+                      "workers": self.executor.workers},
+            "version": __version__,
+        }
+        cache = self.executor.cache
+        if cache is not None:
+            doc["cache"] = {**cache.stats.as_dict(),
+                            "entries": len(cache)}
+        if _obs.metrics_enabled():
+            doc["registry"] = _obs.registry().snapshot()
+        return doc
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    write_json_response(writer, 400, {"error": str(exc)})
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: the loop is tearing down (stop during
+                # keep-alive idle) and cancelled the close waiter — the
+                # transport is closed either way, end quietly.
+                pass
+
+    async def _dispatch(self, request: Request,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns keep-alive."""
+        self.stats["requests_total"] += 1
+        self.active_requests += 1
+        try:
+            if request.method == "GET" and request.path == "/healthz":
+                write_json_response(writer, 200, {
+                    "ok": True, "version": __version__,
+                    "workers": self.executor.workers})
+                return True
+            if request.method == "GET" and request.path == "/metrics":
+                write_json_response(writer, 200, self.metrics_doc())
+                return True
+            if request.method == "POST" and request.path in (
+                    "/v1/jobs", "/v1/compare", "/v1/sweep"):
+                doc = request.json()
+                if request.path != "/v1/jobs" and isinstance(doc, dict):
+                    doc.setdefault("kind", request.path.rsplit("/", 1)[-1])
+                try:
+                    job = parse_job(doc)
+                except ReproError as exc:
+                    self.stats["requests_failed"] += 1
+                    write_json_response(writer, 400, {"error": str(exc)})
+                    return True
+                self.stats[f"jobs_{job.kind}"] += 1
+                if _obs.metrics_enabled():
+                    _obs.registry().counter("serve.requests_total",
+                                            scope="host",
+                                            kind=job.kind).inc()
+                stream = ChunkedWriter(writer)
+                await self.run_job(job, stream.send)
+                await stream.finish()
+                return True
+            self.stats["requests_failed"] += 1
+            write_json_response(
+                writer, 404, {"error": f"no route for {request.method} "
+                                       f"{request.path}"})
+            return True
+        except ProtocolError as exc:
+            self.stats["requests_failed"] += 1
+            write_json_response(writer, 400, {"error": str(exc)})
+            return False
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self.stats["requests_failed"] += 1
+            raise
+        except Exception as exc:  # a bug, not a bad request
+            self.stats["requests_failed"] += 1
+            try:
+                write_json_response(writer, 500, {
+                    "error": f"{type(exc).__name__}: {exc}"})
+            except ConnectionError:
+                pass
+            return False
+        finally:
+            self.active_requests -= 1
+
+
+class BackgroundServer:
+    """An :class:`ExperimentServer` on a daemon thread (tests, CLI
+    load tools).
+
+    Spawns the worker pool *before* the event loop thread starts (so
+    processes fork from a quiet interpreter), binds an ephemeral port,
+    and exposes it as :attr:`address`.  Use as a context manager::
+
+        with BackgroundServer(workers=2, cache=dir) as bg:
+            client = ServeClient(*bg.address)
+    """
+
+    def __init__(self, *, workers: int | None = None,
+                 cache: ResultCache | str | None = None,
+                 host: str = "127.0.0.1") -> None:
+        self.server = ExperimentServer(workers=workers, cache=cache)
+        self.host = host
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.port is None:
+            raise RuntimeError("server is not running")
+        return self.host, self.port
+
+    def __enter__(self) -> "BackgroundServer":
+        self.server.warm()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        srv = await self.server.start(self.host, 0)
+        self.port = srv.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with srv:
+            await self._stop.wait()
+
+    def __exit__(self, *exc: _t.Any) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self.server.close()

@@ -1,0 +1,216 @@
+"""Job parsing and point planning for the experiment server.
+
+A *job* is the JSON body of one ``POST /v1/jobs`` request: either a
+``compare`` (one noisy config scored against its quiet twin) or a
+``sweep`` (nodes x patterns with shared quiet baselines).  The planner
+expands a job into independent *points* — frozen
+:class:`~repro.core.ExperimentConfig` objects keyed exactly like
+:meth:`repro.parallel.SweepExecutor.run_sweep` keys them — and later
+reassembles completed points into the same flat records
+:func:`repro.core.sweep_records` produces, so a served job is
+byte-identical (as sorted JSON records) to the CLI path.
+
+The expansion/assembly rules deliberately mirror ``run_sweep`` /
+``run_comparisons``: quiet twins are normalised through
+:func:`~repro.parallel.normalized_quiet_twin` so physically identical
+baselines collapse onto one point (and one cache/dedup key), and a
+missing quiet baseline surfaces as a ``MissingBaseline`` error rather
+than silently dropping the noisy point.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from ..core import ExperimentConfig
+from ..core.results import ComparisonResult, RunResult
+from ..errors import ConfigError
+from ..parallel.executor import _is_quiet, normalized_quiet_twin
+
+__all__ = ["Job", "parse_job", "PointPlan"]
+
+#: Config fields a job may set directly (everything else is rejected so
+#: typos fail loudly instead of silently running the default).
+_CONFIG_FIELDS = ("app", "kernel", "network", "alignment", "seed",
+                  "isolate_noise", "faults", "topology", "shape",
+                  "app_params", "observer", "critical_path")
+
+_JOB_KEYS = frozenset(_CONFIG_FIELDS) | {
+    "kind", "nodes", "pattern", "patterns", "collectives"}
+
+
+@dataclass(frozen=True)
+class PointPlan:
+    """One independent simulation the job needs."""
+
+    key: tuple
+    config: ExperimentConfig
+    label: str
+
+
+@dataclass(frozen=True)
+class Job:
+    """A validated compare/sweep request."""
+
+    kind: str
+    nodes: tuple[int, ...]
+    patterns: tuple[str, ...]
+    base: ExperimentConfig
+    raw: dict[str, _t.Any] = field(default_factory=dict, compare=False)
+
+    # -- expansion ---------------------------------------------------------
+    def points(self) -> list[PointPlan]:
+        """The independent simulations, quiet baselines deduplicated.
+
+        Keys use the executor's scheme — ``("quiet", p)`` and
+        ``("noisy", p, pattern)`` — so labels, errors, and assembly all
+        speak the same coordinates.
+        """
+        plans: list[PointPlan] = []
+        seen: set[tuple] = set()
+        for p in self.nodes:
+            key = ("quiet", p)
+            if key in seen:
+                continue
+            seen.add(key)
+            twin = normalized_quiet_twin(
+                ExperimentConfig(**{**self._base_kwargs(), "nodes": p}))
+            plans.append(PointPlan(key, twin, f"quiet baseline P={p}"))
+        for p in self.nodes:
+            for pattern in self.patterns:
+                if _is_quiet(pattern):
+                    continue
+                key = ("noisy", p, pattern)
+                if key in seen:
+                    continue
+                seen.add(key)
+                cfg = ExperimentConfig(**{**self._base_kwargs(), "nodes": p,
+                                          "noise_pattern": pattern})
+                plans.append(PointPlan(key, cfg, f"P={p} pattern={pattern}"))
+        return plans
+
+    def _base_kwargs(self) -> dict[str, _t.Any]:
+        import dataclasses
+
+        return {f.name: getattr(self.base, f.name)
+                for f in dataclasses.fields(self.base)}
+
+    # -- assembly ----------------------------------------------------------
+    def assemble(self, points: _t.Mapping[tuple, RunResult]
+                 ) -> tuple[list[dict[str, _t.Any]],
+                            list[dict[str, _t.Any]]]:
+        """Completed points -> ``(records, errors)``.
+
+        Records match :func:`repro.core.sweep_records` exactly: sorted
+        by ``(nodes, pattern)``, quiet cells are bare
+        :meth:`RunResult.as_dict`, noisy cells are
+        :meth:`ComparisonResult.as_dict`.  Noisy points whose quiet
+        baseline is missing become ``MissingBaseline`` errors.
+        """
+        results: dict[tuple[int, str], _t.Any] = {}
+        errors: list[dict[str, _t.Any]] = []
+        for p in self.nodes:
+            quiet = points.get(("quiet", p))
+            for pattern in self.patterns:
+                if _is_quiet(pattern):
+                    if quiet is not None:
+                        results[(p, pattern)] = quiet
+                    continue
+                noisy = points.get(("noisy", p, pattern))
+                if noisy is None:
+                    continue  # its own point error was already streamed
+                if quiet is None:
+                    errors.append({"label": f"P={p} pattern={pattern}",
+                                   "kind": "MissingBaseline",
+                                   "message": "quiet baseline failed"})
+                    continue
+                results[(p, pattern)] = ComparisonResult(quiet=quiet,
+                                                         noisy=noisy)
+        records = []
+        for (p, pattern), res in sorted(results.items()):
+            record = res.as_dict()
+            record.setdefault("nodes", p)
+            record.setdefault("pattern", pattern)
+            records.append(record)
+        return records, errors
+
+
+def _expect(doc: dict[str, _t.Any], key: str, types: tuple[type, ...],
+            default: _t.Any) -> _t.Any:
+    value = doc.get(key, default)
+    if value is not default and not isinstance(value, types):
+        names = "/".join(t.__name__ for t in types)
+        raise ConfigError(f"job field {key!r} must be {names}, "
+                          f"got {type(value).__name__}")
+    return value
+
+
+def parse_job(doc: _t.Any) -> Job:
+    """Validate one request body into a :class:`Job`.
+
+    Raises :class:`~repro.errors.ConfigError` on anything malformed —
+    the server maps that to a 400, never a crashed worker.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigError("job body must be a JSON object")
+    unknown = set(doc) - _JOB_KEYS
+    if unknown:
+        raise ConfigError(f"unknown job fields: {sorted(unknown)}")
+    kind = doc.get("kind")
+    if kind not in ("compare", "sweep"):
+        raise ConfigError(f"job kind must be 'compare' or 'sweep', "
+                          f"got {kind!r}")
+
+    if kind == "compare":
+        nodes_raw: _t.Any = _expect(doc, "nodes", (int,), 16)
+        nodes = [nodes_raw]
+        pattern = _expect(doc, "pattern", (str,), "2.5pct@10Hz")
+        if _is_quiet(pattern):
+            raise ConfigError("compare jobs need a noisy 'pattern'")
+        patterns = [pattern]
+    else:
+        nodes_raw = doc.get("nodes", [4, 16])
+        if isinstance(nodes_raw, int):
+            nodes_raw = [nodes_raw]
+        if (not isinstance(nodes_raw, list) or not nodes_raw
+                or not all(isinstance(n, int) and n > 0 for n in nodes_raw)):
+            raise ConfigError("sweep 'nodes' must be a non-empty list of "
+                              "positive ints")
+        nodes = list(nodes_raw)
+        pats_raw = doc.get("patterns", ["2.5pct@10Hz"])
+        if isinstance(pats_raw, str):
+            pats_raw = [pats_raw]
+        if (not isinstance(pats_raw, list) or not pats_raw
+                or not all(isinstance(s, str) and s.strip()
+                           for s in pats_raw)):
+            raise ConfigError("sweep 'patterns' must be a non-empty list "
+                              "of pattern strings")
+        patterns = [s.strip() for s in pats_raw]
+
+    kwargs: dict[str, _t.Any] = {}
+    for name in _CONFIG_FIELDS:
+        if name in doc:
+            kwargs[name] = doc[name]
+    collectives = doc.get("collectives")
+    if collectives is not None:
+        if (not isinstance(collectives, dict)
+                or not all(isinstance(k, str) and isinstance(v, str)
+                           for k, v in collectives.items())):
+            raise ConfigError("'collectives' must map op name to algorithm")
+        kwargs["collectives"] = collectives
+    app_params = kwargs.get("app_params")
+    if app_params is not None and not isinstance(app_params, dict):
+        raise ConfigError("'app_params' must be an object")
+    try:
+        base = ExperimentConfig(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"bad job config: {exc}") from exc
+    # Fail fast on unparsable patterns/faults so a broken job never
+    # occupies pool workers.
+    for pattern in patterns:
+        ExperimentConfig(**{**kwargs, "noise_pattern": pattern}
+                         ).injected_utilization()
+    base.fault_plan()
+    return Job(kind=kind, nodes=tuple(nodes), patterns=tuple(patterns),
+               base=base, raw=dict(doc))

@@ -314,3 +314,212 @@ def test_sweep_stats_shape(tmp_path):
     assert d["quiet_simulated"] == 1
     assert d["noisy_simulated"] == 1
     assert pickle.loads(pickle.dumps(stats)).points == 2
+
+
+# -- PR 7 regressions: dict-key collision, tmp litter, span starts ----------
+
+def test_config_key_dict_int_vs_str_keys_differ():
+    """{1: x} and {"1": x} dict keys must not collapse onto one cache
+    key (the set-token collision PR 2 fixed, in dict form)."""
+    a = ExperimentConfig(app="bsp", app_params={"table": {1: 5}})
+    b = ExperimentConfig(app="bsp", app_params={"table": {"1": 5}})
+    assert config_key(a) != config_key(b)
+
+
+def test_config_key_dict_mixed_key_types_stable():
+    """Mixed-type dict keys sort by their typed JSON token, not str()."""
+    from repro.parallel import config_token
+
+    a = config_token({1: "a", "1": "b", 2: "c"})
+    b = config_token({"1": "b", 2: "c", 1: "a"})
+    assert a == b
+    # Both entries survive with distinct key tokens.
+    keys = [k for k, _v in a[1]]
+    assert 1 in keys and "1" in keys
+
+
+def test_cache_sweeps_stale_tmp_litter(tmp_path):
+    """Orphaned *.tmp files (worker killed between mkstemp and
+    os.replace) are swept age-gated on init and clear()."""
+    cache = ResultCache(tmp_path)
+    cache.put({"k": 1}, "v")
+    d = cache._dir
+    stale = d / "deadbeef.tmp"
+    stale.write_bytes(b"torn write")
+    os.utime(stale, (1, 1))  # ancient
+    fresh = d / "inflight.tmp"
+    fresh.write_bytes(b"concurrent writer")
+
+    # A new cache over the same root sweeps the stale file on init but
+    # never touches a fresh (possibly in-flight) temp file.
+    again = ResultCache(tmp_path)
+    assert not stale.exists()
+    assert fresh.exists()
+    assert again.get({"k": 1}) == "v"
+
+    os.utime(fresh, (1, 1))
+    again.clear()
+    assert not fresh.exists()
+    assert len(again) == 0
+
+
+def test_pooled_span_start_times_are_true_worker_stamps(monkeypatch):
+    """Sweep trace spans carry the worker's real start stamp, not
+    'collection time minus elapsed' (which shifts pooled spans)."""
+    import repro.obs.runtime as obs_runtime
+    import repro.parallel.executor as mod
+    from repro import obs
+
+    obs.configure(trace=True)
+    tr = obs_runtime.tracer()
+    result = object()
+
+    def stamped(cfg, det_check=False):
+        # A point that ran from t0+10s to t0+11.5s in some worker, but
+        # is only *collected* now (perf_counter() >> t0 + 11.5 is not
+        # required; the stamps simply are not "now").
+        return result, tr._t0 + 10.0, tr._t0 + 11.5
+
+    monkeypatch.setattr(mod, "_run_point", stamped)
+    ex = SweepExecutor(workers=1)
+    served, timings = ex.run_configs(
+        {"pt": ExperimentConfig(app="bsp", app_params=BSP_SMALL)})
+    assert served["pt"] is result
+    assert timings["pt"].elapsed_s == pytest.approx(1.5)
+    span = next(e for e in tr.events() if e["cat"] == "sweep")
+    assert span["ts"] == pytest.approx(10.0 * 1e6)   # us since tracer t0
+    assert span["dur"] == pytest.approx(1.5 * 1e6)
+
+
+# -- sharded cache ----------------------------------------------------------
+
+def test_sharded_cache_layout_and_roundtrip(tmp_path):
+    from repro.parallel import ShardedResultCache
+
+    cache = ShardedResultCache(tmp_path)
+    cfg = ExperimentConfig(app="bsp", seed=9)
+    cache.put(cfg, "value")
+    key = cache.key(cfg)
+    shard = cache._dir / key[:2] / f"{key}.pkl"
+    assert shard.is_file()
+    assert cache.get(cfg) == "value"
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_sharded_cache_migrates_flat_layout(tmp_path):
+    """Entries written by the flat layout are sharded on init and stay
+    readable throughout (server and old CLI can share a root)."""
+    from repro.parallel import ShardedResultCache
+
+    flat = ResultCache(tmp_path)
+    cfgs = [ExperimentConfig(app="bsp", seed=s) for s in range(5)]
+    for i, cfg in enumerate(cfgs):
+        flat.put(cfg, f"v{i}")
+    assert all((flat._dir / f"{flat.key(c)}.pkl").is_file() for c in cfgs)
+
+    sharded = ShardedResultCache(tmp_path)
+    # Flat files are gone, every entry now lives in its shard ...
+    assert not any(p.suffix == ".pkl" for p in sharded._dir.iterdir()
+                   if p.is_file())
+    for i, cfg in enumerate(cfgs):
+        key = sharded.key(cfg)
+        assert (sharded._dir / key[:2] / f"{key}.pkl").is_file()
+        assert sharded.get(cfg) == f"v{i}"
+    assert len(sharded) == len(cfgs)
+
+
+def test_sharded_cache_promotes_flat_entry_written_later(tmp_path):
+    """A flat entry appearing *after* migration (older writer sharing
+    the directory) is still served, and promoted on first read."""
+    from repro.parallel import ShardedResultCache
+
+    sharded = ShardedResultCache(tmp_path)
+    cfg = ExperimentConfig(app="bsp", seed=4)
+    ResultCache(tmp_path).put(cfg, "late")
+    assert sharded.get(cfg) == "late"
+    key = sharded.key(cfg)
+    assert (sharded._dir / key[:2] / f"{key}.pkl").is_file()
+    assert not (sharded._dir / f"{key}.pkl").exists()
+    assert sharded.stats.hits == 1 and sharded.stats.misses == 0
+
+
+def test_sharded_and_flat_caches_share_keys(tmp_path):
+    from repro.parallel import ShardedResultCache
+
+    cfg = ExperimentConfig(app="bsp", seed=11)
+    assert (ShardedResultCache(tmp_path).key(cfg)
+            == ResultCache(tmp_path).key(cfg))
+
+
+def test_executor_paths_root_sharded_caches(tmp_path):
+    from repro.parallel import ShardedResultCache
+
+    ex = SweepExecutor(cache=tmp_path)
+    assert isinstance(ex.cache, ShardedResultCache)
+
+
+def test_sharded_cache_sweep_identical_to_flat(tmp_path):
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+    plain = sweep_records(base, **kwargs)
+    warm = SweepExecutor(workers=1, cache=tmp_path / "c")
+    warm.run_sweep(base, **kwargs)
+    served = SweepExecutor(workers=1, cache=tmp_path / "c")
+    results = served.run_sweep(base, **kwargs)
+    records = []
+    for (p, pattern), res in sorted(results.items()):
+        record = res.as_dict()
+        record.setdefault("nodes", p)
+        record.setdefault("pattern", pattern)
+        records.append(record)
+    assert records_blob(records) == records_blob(plain)
+    assert served.last_stats.quiet_cached == 2
+    assert served.last_stats.noisy_cached == 2
+
+
+# -- persistent pool --------------------------------------------------------
+
+def test_persistent_pool_reused_and_closed():
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    with SweepExecutor(workers=2, persistent=True) as ex:
+        ex.run_sweep(base, nodes=[2], patterns=["quiet", "2.5pct@100Hz"])
+        pool = ex._pool
+        assert pool is not None
+        ex.run_sweep(base, nodes=[4], patterns=["quiet", "2.5pct@100Hz"])
+        assert ex._pool is pool  # same pool, not a new one per sweep
+    assert ex._pool is None
+
+
+def test_submit_config_requires_persistent():
+    ex = SweepExecutor(workers=2)
+    with pytest.raises(ConfigError):
+        ex.submit_config(ExperimentConfig(app="bsp", app_params=BSP_SMALL))
+
+
+def test_submit_config_matches_serial():
+    cfg = ExperimentConfig(app="bsp", seed=5, app_params=BSP_SMALL)
+    from repro.core import run_experiment
+
+    with SweepExecutor(workers=1, persistent=True) as ex:
+        result, t0, t1 = ex.submit_config(cfg).result()
+    assert t1 >= t0
+    serial = run_experiment(cfg)
+    assert records_blob([result.as_dict()]) == records_blob(
+        [serial.as_dict()])
+
+
+def test_persistent_sweep_identical_to_serial():
+    base = ExperimentConfig(app="bsp", seed=2, app_params=BSP_SMALL)
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+    serial = sweep_records(base, workers=1, **kwargs)
+    with SweepExecutor(workers=2, persistent=True) as ex:
+        results = ex.run_sweep(base, **kwargs)
+    records = []
+    for (p, pattern), res in sorted(results.items()):
+        record = res.as_dict()
+        record.setdefault("nodes", p)
+        record.setdefault("pattern", pattern)
+        records.append(record)
+    assert records_blob(records) == records_blob(serial)

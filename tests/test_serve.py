@@ -1,0 +1,322 @@
+"""Tests for the experiment server: planning, dedup, determinism.
+
+The heavyweight properties the service must hold:
+
+* served records are byte-identical to the ``repro sweep`` CLI path
+  (serial and ``--workers``) for equal configs;
+* N identical concurrent submissions cause exactly one simulation per
+  distinct point (in-flight dedup);
+* the sharded on-disk cache is shared between server and CLI.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import ExperimentConfig, run_with_baseline, sweep_records
+from repro.errors import ConfigError
+from repro.serve import (
+    BackgroundServer,
+    InflightRegistry,
+    ServeClient,
+    ServeError,
+    job_records,
+    parse_job,
+    submit_async,
+)
+
+#: Small enough that a point is tens of milliseconds.
+_PARAMS = {"work_ns": 500_000, "iterations": 10}
+
+
+def _blob(records):
+    return json.dumps(records, sort_keys=True).encode()
+
+
+# -- planner ----------------------------------------------------------------
+
+def test_parse_job_rejects_garbage():
+    with pytest.raises(ConfigError):
+        parse_job(["not", "an", "object"])
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "destroy"})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "sweep", "typo_field": 1})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "compare", "pattern": "quiet"})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "sweep", "nodes": []})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "sweep", "nodes": [0]})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "sweep", "patterns": [""]})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "sweep", "patterns": ["no-such-grammar!!"]})
+    with pytest.raises(ConfigError):
+        parse_job({"kind": "sweep", "collectives": {"allreduce": 3}})
+
+
+def test_parse_job_compare_and_sweep_shapes():
+    cmp_job = parse_job({"kind": "compare", "nodes": 8,
+                         "pattern": "2.5pct@100Hz", "seed": 3})
+    assert cmp_job.nodes == (8,)
+    assert cmp_job.patterns == ("2.5pct@100Hz",)
+    assert cmp_job.base.seed == 3
+
+    swp = parse_job({"kind": "sweep", "nodes": [4, 8],
+                     "patterns": ["quiet", "2.5pct@100Hz"]})
+    keys = [p.key for p in swp.points()]
+    # Quiet baselines first (deduplicated), then noisy points.
+    assert keys == [("quiet", 4), ("quiet", 8),
+                    ("noisy", 4, "2.5pct@100Hz"),
+                    ("noisy", 8, "2.5pct@100Hz")]
+
+
+def test_job_points_share_quiet_baselines():
+    swp = parse_job({"kind": "sweep", "nodes": [4, 4, 4],
+                     "patterns": ["2.5pct@10Hz", "2.5pct@100Hz"]})
+    quiet = [p for p in swp.points() if p.key[0] == "quiet"]
+    assert len(quiet) == 1
+
+
+def test_job_assemble_matches_sweep_records_shape():
+    job = parse_job({"kind": "sweep", "app": "bsp", "nodes": [2],
+                     "patterns": ["quiet", "2.5pct@100Hz"], "seed": 2,
+                     "app_params": _PARAMS})
+    from repro.core import run_experiment
+
+    points = {p.key: run_experiment(p.config) for p in job.points()}
+    records, errors = job.assemble(points)
+    assert errors == []
+    expected = sweep_records(
+        ExperimentConfig(app="bsp", seed=2, app_params=_PARAMS),
+        nodes=[2], patterns=["quiet", "2.5pct@100Hz"])
+    assert _blob(records) == _blob(expected)
+
+
+def test_job_assemble_reports_missing_baseline():
+    job = parse_job({"kind": "sweep", "nodes": [2],
+                     "patterns": ["2.5pct@100Hz"]})
+    noisy_key = ("noisy", 2, "2.5pct@100Hz")
+    from repro.core import run_experiment
+
+    noisy = run_experiment(
+        next(p for p in job.points() if p.key == noisy_key).config)
+    records, errors = job.assemble({noisy_key: noisy})
+    assert records == []
+    assert errors and errors[0]["kind"] == "MissingBaseline"
+
+
+# -- in-flight registry -----------------------------------------------------
+
+def test_inflight_registry_dedups_and_retires():
+    async def main():
+        reg = InflightRegistry()
+        calls = []
+
+        async def work():
+            calls.append(1)
+            await asyncio.sleep(0)
+            return "r"
+
+        assert reg.join("k") is None
+        task = reg.register("k", work)
+        assert reg.join("k") is task and reg.joined == 1
+        assert await asyncio.shield(task) == "r"
+        await asyncio.sleep(0)  # let the done callback retire the key
+        assert len(reg) == 0 and reg.join("k") is None
+        assert calls == [1]
+
+    asyncio.run(main())
+
+
+def test_inflight_registry_failure_not_pinned():
+    async def main():
+        reg = InflightRegistry()
+
+        async def boom():
+            raise RuntimeError("sim failed")
+
+        task = reg.register("k", boom)
+        with pytest.raises(RuntimeError):
+            await asyncio.shield(task)
+        await asyncio.sleep(0)
+        assert reg.join("k") is None  # next request starts fresh
+
+    asyncio.run(main())
+
+
+# -- the server -------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    with BackgroundServer(workers=2, cache=str(cache_dir)) as bg:
+        yield bg
+
+
+def _sweep_job(**over):
+    job = {"kind": "sweep", "app": "bsp", "nodes": [2, 4],
+           "patterns": ["quiet", "2.5pct@100Hz"], "seed": 2,
+           "app_params": _PARAMS}
+    job.update(over)
+    return job
+
+
+def test_health_and_metrics(server):
+    client = ServeClient(*server.address)
+    health = client.health()
+    assert health["ok"] and health["workers"] == 2
+    doc = client.metrics()
+    assert "serve" in doc and "cache" in doc
+    assert doc["serve"]["workers"] == 2
+
+
+def test_unknown_route_404(server):
+    client = ServeClient(*server.address)
+    with pytest.raises(ServeError, match="404"):
+        client._get_json("/nope")
+
+
+def test_bad_job_is_a_400_not_a_crash(server):
+    client = ServeClient(*server.address)
+    with pytest.raises(ServeError, match="rejected"):
+        list(client.submit({"kind": "destroy"}))
+    with pytest.raises(ServeError, match="rejected"):
+        list(client.submit({"kind": "sweep", "patterns": ["zzz!"]}))
+    assert client.health()["ok"]  # server survived
+
+
+def test_served_sweep_byte_identical_to_cli(server):
+    client = ServeClient(*server.address)
+    records, stats = client.records(_sweep_job(seed=21))
+    assert stats["errors"] == 0
+    base = ExperimentConfig(app="bsp", seed=21, app_params=_PARAMS)
+    kwargs = dict(nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+    assert _blob(records) == _blob(sweep_records(base, workers=1, **kwargs))
+    assert _blob(records) == _blob(sweep_records(base, workers=2, **kwargs))
+
+
+def test_served_compare_matches_run_with_baseline(server):
+    client = ServeClient(*server.address)
+    job = {"kind": "compare", "app": "bsp", "nodes": 4,
+           "pattern": "2.5pct@100Hz", "seed": 22, "app_params": _PARAMS}
+    records, stats = client.records(job)
+    assert len(records) == 1 and stats["errors"] == 0
+    cmp = run_with_baseline(ExperimentConfig(
+        app="bsp", nodes=4, noise_pattern="2.5pct@100Hz", seed=22,
+        app_params=_PARAMS))
+    expected = cmp.as_dict()
+    expected.setdefault("pattern", "2.5pct@100Hz")
+    assert _blob(records) == _blob([expected])
+
+
+def test_stream_has_point_record_stats_events(server):
+    client = ServeClient(*server.address)
+    events = list(client.submit(_sweep_job(seed=23)))
+    kinds = [e["event"] for e in events]
+    assert kinds[-1] == "stats"
+    assert kinds.count("point") == 4
+    assert kinds.count("record") == 4
+    outcomes = {e["outcome"] for e in events if e["event"] == "point"}
+    assert outcomes <= {"simulated", "cached", "deduped"}
+    # Every record cell appears exactly once.
+    cells = [(e["record"]["nodes"], e["record"]["pattern"])
+             for e in events if e["event"] == "record"]
+    assert sorted(cells) == [(2, "2.5pct@100Hz"), (2, "quiet"),
+                             (4, "2.5pct@100Hz"), (4, "quiet")]
+
+
+def test_repeat_submission_served_from_cache(server):
+    client = ServeClient(*server.address)
+    _records, first = client.records(_sweep_job(seed=24))
+    assert first["simulated"] == 4
+    records, again = client.records(_sweep_job(seed=24))
+    assert again["simulated"] == 0
+    assert again["cached"] == 4
+    assert _blob(records) == _blob(_records)
+
+
+def test_identical_concurrent_jobs_simulate_once(server):
+    """The headline dedup property: N identical in-flight jobs ->
+    exactly one simulation per distinct point."""
+    client = ServeClient(*server.address)
+    before = client.metrics()["serve"]
+    job = {"kind": "compare", "app": "bsp", "nodes": 4,
+           "pattern": "2.5pct@10Hz", "seed": 25, "app_params": _PARAMS}
+
+    async def burst():
+        host, port = server.address
+        return await asyncio.gather(
+            *[submit_async(host, port, job) for _ in range(8)])
+
+    results = asyncio.run(burst())
+    blobs = set()
+    for events in results:
+        records, stats = job_records(events)
+        assert stats["errors"] == 0
+        blobs.add(_blob(records))
+    assert len(blobs) == 1  # every subscriber saw the identical result
+
+    after = client.metrics()["serve"]
+    simulated = after["points_simulated"] - before["points_simulated"]
+    deduped = after["points_deduped"] - before["points_deduped"]
+    cached = after["points_cached"] - before["points_cached"]
+    # 8 jobs x 2 points each = 16 consumptions; exactly 2 simulations
+    # (noisy + its quiet baseline), everything else dedup/cache.
+    assert simulated == 2
+    assert deduped + cached == 14
+
+
+def test_cache_shared_between_cli_and_server(server, tmp_path):
+    """A sweep the CLI ran into the shared directory is served without
+    simulating; and vice versa the server's points warm the CLI."""
+    from repro.parallel import SweepExecutor
+
+    # The server's cache dir, already warmed by earlier tests:
+    cache = server.server.executor.cache
+    base = ExperimentConfig(app="bsp", seed=24, app_params=_PARAMS)
+    ex = SweepExecutor(workers=1, cache=cache)
+    ex.run_sweep(base, nodes=[2, 4], patterns=["quiet", "2.5pct@100Hz"])
+    stats = ex.last_stats
+    assert stats.quiet_simulated == 0 and stats.noisy_simulated == 0
+
+
+def test_point_failure_streams_error_event(server):
+    client = ServeClient(*server.address)
+    job = {"kind": "compare", "app": "bsp", "nodes": 4,
+           "pattern": "2.5pct@100Hz", "seed": 26,
+           "app_params": {"work_ns": -5}}
+    events = list(client.submit(job))
+    kinds = [e["event"] for e in events]
+    assert "error" in kinds
+    assert events[-1]["event"] == "stats"
+    assert events[-1]["errors"] >= 1
+    assert client.health()["ok"]
+
+
+def test_cli_submit_against_server(server):
+    from repro.cli import main
+    import io
+
+    host, port = server.address
+    out = io.StringIO()
+    rc = main(["submit", "--host", host, "--port", str(port),
+               "--app", "bsp", "--nodes", "2,4",
+               "--patterns", "quiet,2.5pct@100Hz", "--seed", "2"],
+              out=out)
+    text = out.getvalue()
+    assert rc == 0
+    assert "sweep: bsp" in text
+    assert "server:" in text
+
+
+def test_cli_submit_connection_refused():
+    from repro.cli import main
+    import io
+
+    out = io.StringIO()
+    rc = main(["submit", "--port", "1", "--app", "bsp"], out=out)
+    assert rc == 2
+    assert "cannot reach server" in out.getvalue()
