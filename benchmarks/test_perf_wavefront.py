@@ -1,0 +1,58 @@
+"""Perf floor for the idle-wave extractor.
+
+The wavefront extractor is post-processing: it runs over edge logs
+that already exist, so its cost must stay negligible next to the
+simulations that produced them.  The bar is that matching plus
+extraction plus the causal replay over a 16-rank, ~3000-wait BSP log
+pair completes well under a second; the assertion threshold (2 s) is
+set far above the measured time (~10 ms) so only an algorithmic
+regression — an accidental O(waits^2) pairing, a per-wait re-sort —
+trips it, not scheduler jitter on a loaded CI box.
+
+Run with ``pytest benchmarks/test_perf_wavefront.py -s``.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.core import ExperimentConfig, run_experiment
+from repro.faults import FaultPlan
+from repro.obs import extract_wavefront
+
+_NODES = 16
+_ITERATIONS = 200
+_WORK_NS = 200_000
+_SOURCE = 2
+_T0_NS = 2_000_000
+_DURATION_NS = 500_000
+
+
+def test_wavefront_extraction_is_fast():
+    base = ExperimentConfig(
+        app="bsp", nodes=_NODES, noise_pattern="quiet", seed=17,
+        kernel="lightweight", record_edges=True,
+        app_params=dict(work_ns=_WORK_NS, iterations=_ITERATIONS))
+    quiet = run_experiment(base)
+    delayed = run_experiment(replace(base, faults=FaultPlan(
+        one_off=((_SOURCE, _T0_NS, _DURATION_NS),), seed=17)))
+    n_waits = sum(len(ws) for ws in quiet.meta["edge_log"]["waits"].values())
+
+    # Warm-up extraction, then time the best of three.
+    extract_wavefront(quiet.meta["edge_log"], delayed.meta["edge_log"],
+                      source_rank=_SOURCE, t0_ns=_T0_NS,
+                      duration_ns=_DURATION_NS)
+    times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        wave = extract_wavefront(
+            quiet.meta["edge_log"], delayed.meta["edge_log"],
+            source_rank=_SOURCE, t0_ns=_T0_NS, duration_ns=_DURATION_NS)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    print(f"\nwavefront extraction: {1000 * best:.1f} ms "
+          f"({_NODES} ranks, {n_waits} waits)")
+    assert wave.ranks_reached == _NODES
+    assert wave.undamped
+    assert best < 2.0, (
+        f"wavefront extraction took {best:.2f}s over {n_waits} waits — "
+        "algorithmic regression (bar is ~10 ms measured)")

@@ -36,7 +36,10 @@ Commands
 ``compare`` and ``sweep`` accept ``--faults SPEC`` to run on an
 unreliable machine (``drop=0.01,dup=0.002,timeout=1ms,...`` — see
 :func:`repro.faults.parse_faults` and docs/ROBUSTNESS.md); the E15
-harness experiment sweeps this axis systematically.
+harness experiment sweeps this axis systematically.  The same spec
+plants one-off idle-wave probes (``one_off=rank:start:duration``,
+e.g. ``one_off=3:5ms:1ms``) — the E20 experiment and
+docs/OBSERVABILITY.md cover the wavefront analysis built on them.
 
 ``compare`` and ``sweep`` also accept the topology flags:
 ``--topology switch|torus:AxBxC|fat-tree|dragonfly|hier:CxNxS[@kind]``
@@ -162,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--isolate-noise", action="store_true")
     p_cmp.add_argument("--faults", metavar="SPEC", default=None,
                        help="fault-injection spec, e.g. "
-                            "'drop=0.01,timeout=1ms' ('none' = reliable)")
+                            "'drop=0.01,timeout=1ms' or a planted "
+                            "one-off delay 'one_off=3:5ms:1ms' "
+                            "(rank:start:duration; 'none' = reliable)")
     p_cmp.add_argument("--critical-path", action="store_true",
                        help="record dependency edges and print the "
                             "critical-path attribution + quiet-vs-noisy "

@@ -71,6 +71,13 @@ class ExperimentConfig:
         ``RunResult.meta["critical_path"]``.  Off by default (the
         recorder is never built); recording is passive, so makespans
         and iteration timings are byte-identical either way.
+    record_edges:
+        Attach the raw dependency-edge log
+        (:meth:`repro.obs.DependencyRecorder.edge_log`) to
+        ``RunResult.meta["edge_log"]``.  Implies critical-path
+        recording; this is the input the idle-wave extractor
+        (:mod:`repro.obs.wavefront`) consumes.  Like
+        ``critical_path``, recording is passive.
     """
 
     app: str = "bsp"
@@ -89,6 +96,7 @@ class ExperimentConfig:
     isolate_noise: bool = False
     faults: FaultPlan | str | None = None
     critical_path: bool = False
+    record_edges: bool = False
 
     def injected_utilization(self) -> float:
         """Nominal utilization of the injected pattern (0 for quiet)."""
@@ -112,7 +120,8 @@ class ExperimentConfig:
                              injection=injection, seed=self.seed,
                              isolate_noise=self.isolate_noise,
                              faults=self.fault_plan(),
-                             critical_path=self.critical_path)
+                             critical_path=(self.critical_path
+                                            or self.record_edges))
 
     def quiet_twin(self) -> "ExperimentConfig":
         """The same experiment with no injected noise."""
@@ -147,7 +156,10 @@ def run_experiment(config: ExperimentConfig,
     if fault_stats is not None:
         meta["faults"] = fault_stats
     if machine.critpath is not None:
-        meta["critical_path"] = machine.critical_path().as_dict()
+        if config.critical_path:
+            meta["critical_path"] = machine.critical_path().as_dict()
+        if config.record_edges:
+            meta["edge_log"] = machine.critpath.edge_log()
     if machine.env.det_checksum:
         # obs.configure(det_check=True): order-sensitive checksum of
         # every scheduled (time, priority, seq) tuple — equal across

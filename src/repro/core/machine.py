@@ -31,7 +31,7 @@ from ..net import (
     Topology,
     TorusTopology,
 )
-from ..noise import InjectionPlan
+from ..noise import InjectionPlan, NoiseSource, OneOffNoise
 from ..sim import Environment, Process
 
 __all__ = ["MachineConfig", "Machine", "RankProgram"]
@@ -202,10 +202,20 @@ class Machine:
         faults = config.faults
         fault_slow = (faults.slow_nodes_for(config.n_nodes)
                       if faults is not None else {})
+        fault_one_off = (faults.one_off_delays_for(config.n_nodes)
+                         if faults is not None else {})
         self.nodes: list[Node] = []
         for i in range(config.n_nodes):
-            injected = ([plan.source_for(i, config.n_nodes)]
-                        if plan is not None else None)
+            sources: list[NoiseSource] = []
+            if plan is not None:
+                sources.append(plan.source_for(i, config.n_nodes))
+            # Planted one-off delays ride the injected-noise channel:
+            # they strike the application core even under isolate_noise
+            # (the experimenter imposed them) and are attributed by
+            # name in the critical-path / wavefront layers.
+            for start, duration in fault_one_off.get(i, ()):
+                sources.append(OneOffNoise(start, duration))
+            injected = sources or None
             speed = (config.slow_nodes or {}).get(i, 1.0)
             speed *= fault_slow.get(i, 1.0)
             self.nodes.append(Node(self.env, i, kernel_cfg,

@@ -25,6 +25,13 @@ The fault classes modelled:
   nominal clock with probability ``slow_node_rate`` (thermal
   throttling, a sick DIMM).  Materialized once per machine via
   :meth:`FaultPlan.slow_nodes_for`.
+* **one-off delay** — ``one_off`` lists ``(rank, start_ns,
+  duration_ns)`` triples, each planting exactly one CPU steal on one
+  rank (a cron job firing once, a page-cache writeback burst — the
+  idle-wave probe of Afzal/Hager/Wellein, arXiv:1905.10603).
+  Materialized per machine via :meth:`FaultPlan.one_off_delays_for`;
+  the E20 wavefront study tracks the planted delay through the
+  dependency graph.
 * **node crash** — ``crashes`` lists ``(node_id, time_ns)`` pairs;
   from that instant the node is unreachable and every message to or
   from it is dropped, which the retry protocol eventually escalates to
@@ -107,6 +114,10 @@ class FaultPlan:
     #: ``(node_id, crash_time_ns)`` pairs; the node is unreachable from
     #: that instant on.
     crashes: tuple[tuple[int, int], ...] = ()
+    #: ``(rank, start_ns, duration_ns)`` one-shot injected delays: each
+    #: steals the rank's CPU exactly once, for exactly that window —
+    #: the idle-wave probe E20 propagates through the machine.
+    one_off: tuple[tuple[int, int, int], ...] = ()
     seed: int = 0
     #: Base ack timeout before the first retransmission.
     ack_timeout_ns: int = 500 * MICROSECOND
@@ -139,13 +150,19 @@ class FaultPlan:
             nid, when = entry
             if nid < 0 or when < 0:
                 raise ConfigError(f"invalid crash entry {entry!r}")
+        for delay in self.one_off:
+            rank, start, duration = delay
+            if rank < 0 or start < 0 or duration <= 0:
+                raise ConfigError(
+                    f"invalid one_off entry {delay!r}: need rank >= 0, "
+                    "start >= 0, duration > 0")
 
     # -- activation --------------------------------------------------------
     @property
     def injects_faults(self) -> bool:
         """True if this plan can perturb the run at all."""
         return bool(self.drop_rate > 0 or self.duplicate_rate > 0
-                    or self.degradations or self.crashes
+                    or self.degradations or self.crashes or self.one_off
                     or (self.slow_node_rate > 0 and self.slow_factor < 1.0))
 
     @property
@@ -210,6 +227,25 @@ class FaultPlan:
                 if derive_fraction(node_seed(self.seed, i), "fault/slow")
                 < self.slow_node_rate}
 
+    def one_off_delays_for(self, n_nodes: int
+                           ) -> dict[int, tuple[tuple[int, int], ...]]:
+        """The one-off delay schedule for an ``n_nodes`` machine.
+
+        Returns ``rank -> ((start_ns, duration_ns), ...)`` in spec
+        order.  The schedule is explicit (no randomness), so it is
+        trivially identical across calls and worker processes — the
+        property the wavefront study's serial-vs-workers byte-identity
+        rests on.  Ranks outside the machine fail fast.
+        """
+        out: dict[int, list[tuple[int, int]]] = {}
+        for rank, start, duration in self.one_off:
+            if rank >= n_nodes:
+                raise ConfigError(
+                    f"one_off rank {rank} out of range for a "
+                    f"{n_nodes}-node machine")
+            out.setdefault(rank, []).append((start, duration))
+        return {rank: tuple(delays) for rank, delays in out.items()}
+
     def retry_timeout_ns(self, attempt: int) -> int:
         """Ack timeout before retransmission ``attempt`` (0-based)."""
         return round(self.ack_timeout_ns * self.backoff ** attempt)
@@ -222,6 +258,7 @@ class FaultPlan:
                 "slow_node_rate": self.slow_node_rate,
                 "slow_factor": self.slow_factor,
                 "crashes": list(self.crashes),
+                "one_off": list(self.one_off),
                 "ack_timeout_ns": self.ack_timeout_ns,
                 "max_retries": self.max_retries,
                 "backoff": self.backoff,
@@ -246,15 +283,18 @@ def parse_faults(spec: str, *, seed: int = 0) -> FaultPlan | None:
         drop=0.01,dup=0.002,timeout=1ms,retries=6,backoff=2
         drop=0.05,slow=0.1x0.8          (10% of nodes at 80% clock)
         crash=3@50ms                     (node 3 dies at t=50ms)
+        one_off=3:5ms:1ms                (rank 3 loses 1ms of CPU at t=5ms)
 
     ``"none"``/``"off"``/``""`` disable fault injection (returns
-    ``None``).  Times accept ``ns``/``us``/``ms`` suffixes.
+    ``None``).  Times accept ``ns``/``us``/``ms`` suffixes; repeat
+    ``one_off=`` to plant several delays.
     """
     text = spec.strip().lower()
     if text in ("", "none", "off", "quiet"):
         return None
     kwargs: dict[str, _t.Any] = {"seed": seed}
     crashes: list[tuple[int, int]] = []
+    one_off: list[tuple[int, int, int]] = []
     for part in text.split(","):
         part = part.strip()
         if not part:
@@ -283,10 +323,19 @@ def parse_faults(spec: str, *, seed: int = 0) -> FaultPlan | None:
                 node, _, when = value.partition("@")
                 crashes.append((int(node),
                                 _parse_time_ns(when) if when else 0))
+            elif key == "one_off":
+                parts = value.split(":")
+                if len(parts) != 3:
+                    raise ConfigError(
+                        f"one_off spec {value!r} is not rank:start:duration")
+                one_off.append((int(parts[0]), _parse_time_ns(parts[1]),
+                                _parse_time_ns(parts[2])))
             else:
                 raise ConfigError(f"unknown fault spec key {key!r}")
         except ValueError as exc:
             raise ConfigError(f"bad fault spec value {part!r}: {exc}") from None
     if crashes:
         kwargs["crashes"] = tuple(crashes)
+    if one_off:
+        kwargs["one_off"] = tuple(one_off)
     return FaultPlan(**kwargs)

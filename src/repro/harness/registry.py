@@ -34,6 +34,7 @@ from .experiments import (
     e15_fault_resilience,
     e16_critical_path,
     e17_extreme_scale,
+    e20_idle_wave,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
@@ -50,6 +51,7 @@ _MODULES = (
     e15_fault_resilience,
     e16_critical_path,
     e17_extreme_scale,
+    e20_idle_wave,
 )
 
 #: id -> (title, run callable).

@@ -26,6 +26,7 @@ from .base import (
 from .burst import BurstNoise
 from .composite import CompositeNoise
 from .injection import InjectionPlan
+from .oneoff import ONE_OFF_SOURCE, OneOffNoise
 from .patterns import CANONICAL_SWEEP, canonical_patterns, parse_pattern, pattern_names
 from .periodic import PeriodicNoise
 from .playback import TraceNoise
@@ -36,6 +37,7 @@ __all__ = [
     "merge_busy_time", "merged_intervals", "merge_interval_lists",
     "PeriodicNoise", "PoissonNoise", "BernoulliTickNoise",
     "ChunkedRandomNoise", "BurstNoise", "TraceNoise", "CompositeNoise",
+    "OneOffNoise", "ONE_OFF_SOURCE",
     "InjectionPlan",
     "parse_pattern", "pattern_names", "canonical_patterns", "CANONICAL_SWEEP",
 ]

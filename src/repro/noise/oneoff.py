@@ -1,0 +1,83 @@
+"""A single, one-shot CPU steal — the idle-wave probe.
+
+Afzal, Hager & Wellein (arXiv:1905.10603) study what happens when *one*
+rank is delayed *once*: the delay travels through the communication
+dependency graph as an "idle wave" whose speed is set by the collective
+structure and whose decay length shrinks with background noise.  The
+probe that experiment needs is the simplest possible noise source: a
+single event of known start and duration on a known node, injected
+nowhere else and never again.
+
+:class:`OneOffNoise` is that probe.  Its long-run utilization is zero
+(one event amortized over infinite time), so it never perturbs the
+analytic model's utilization bookkeeping; its entire effect is the one
+planted event, which the wall-time fixed point absorbs exactly like any
+other steal.  It is materialized by :class:`~repro.core.Machine` from
+:attr:`repro.faults.FaultPlan.one_off` entries and shows up in
+critical-path attribution under its source name
+(:data:`ONE_OFF_SOURCE`), which is what lets E20 track the planted
+delay through the machine.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .base import NoiseEvent, NoiseSource
+
+__all__ = ["OneOffNoise", "ONE_OFF_SOURCE"]
+
+#: Default source name for planted one-off delays; the critical-path
+#: and wavefront layers attribute by this label.
+ONE_OFF_SOURCE = "one-off-delay"
+
+
+class OneOffNoise(NoiseSource):
+    """Exactly one CPU steal of ``duration`` ns starting at ``start``.
+
+    Both views of the :class:`~repro.noise.NoiseSource` contract are
+    closed-form: the event view is a one-element list when the window
+    covers ``start``, and the aggregate view is the window/event
+    overlap.
+    """
+
+    def __init__(self, start: int, duration: int, *,
+                 name: str = ONE_OFF_SOURCE) -> None:
+        super().__init__(name)
+        if start < 0:
+            raise ConfigError(f"one-off start must be >= 0 ns, got {start}")
+        if duration <= 0:
+            raise ConfigError(
+                f"one-off duration must be > 0 ns, got {duration}")
+        self.start = int(start)
+        self.duration = int(duration)
+
+    @property
+    def end(self) -> int:
+        """First instant after the delay (``start + duration``)."""
+        return self.start + self.duration
+
+    def events_in(self, start: int, end: int) -> list[NoiseEvent]:
+        if start <= self.start < end:
+            return [NoiseEvent(self.start, self.duration, self.name)]
+        return []
+
+    def max_event_duration(self) -> int:
+        return self.duration
+
+    @property
+    def utilization(self) -> float:
+        # One event over unbounded time: the long-run fraction is zero.
+        return 0.0
+
+    @property
+    def event_rate_hz(self) -> float:
+        return 0.0
+
+    def stolen_between(self, start: int, end: int) -> int:
+        """Closed-form overlap of ``[start, end)`` with the one event."""
+        return max(0, min(end, self.end) - max(start, self.start))
+
+    def describe(self) -> dict[str, object]:
+        d = super().describe()
+        d.update(start_ns=self.start, duration_ns=self.duration)
+        return d

@@ -22,6 +22,10 @@ observes the simulator itself.  Two instruments, one switchboard:
   nanosecond of the makespan to a named kernel activity, injected
   noise source, network time, retransmission stalls, or genuine
   compute — the "who stole the makespan" table E16 validates.
+* :mod:`repro.obs.wavefront` — the idle-wave extractor: pairs the
+  edge logs of a baseline and a one-off-delayed run, measures the
+  planted delay's rank-by-rank arrival times and residual magnitude,
+  and fits the propagation speed and decay length E20 validates.
 
 See docs/OBSERVABILITY.md for the metric catalogue and a Perfetto
 walkthrough.
@@ -59,6 +63,13 @@ from .runtime import (
     write_trace,
 )
 from .trace import DEFAULT_TRACE_CATEGORIES, TRACE_CATEGORIES, SpanTracer
+from .wavefront import (
+    WavefrontResult,
+    extract_wavefront,
+    format_wavefront,
+    match_edge_logs,
+    propagate_delay,
+)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "diff_snapshots",
@@ -67,6 +78,8 @@ __all__ = [
     "DependencyRecorder", "WaitRecord", "PathSegment",
     "CriticalPathResult", "compute_critical_path", "diff_critical_paths",
     "format_critical_path", "format_diff",
+    "WavefrontResult", "extract_wavefront", "format_wavefront",
+    "match_edge_logs", "propagate_delay",
     "configure", "disable", "metrics_enabled", "critpath_enabled",
     "det_check_enabled",
     "registry", "tracer", "write_trace", "harvest_machine",

@@ -182,6 +182,25 @@ class DependencyRecorder:
                             w.delivered_at, w.size, w.attempt, w.op))
         return tuple(out)
 
+    def edge_log(self) -> dict[str, _t.Any]:
+        """The recorded dependency edges as a compact, picklable dict.
+
+        The traversable form of the recorder: per-node completed
+        receive waits as ``(start, end, src, sent_at, delivered_at,
+        op)`` tuples in completion order, plus per-node program
+        start/finish times.  This is what rides across ``--workers``
+        process fan-out in ``RunResult.meta["edge_log"]`` (see
+        :attr:`repro.core.ExperimentConfig.record_edges`) and what the
+        idle-wave extractor (:mod:`repro.obs.wavefront`) walks.
+        """
+        return {
+            "waits": {node: [(w.start, w.end, w.src, w.sent_at,
+                              w.delivered_at, w.op) for w in ws]
+                      for node, ws in sorted(self.waits.items())},
+            "starts": dict(sorted(self.starts.items())),
+            "completions": dict(sorted(self.completions.items())),
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class PathSegment:

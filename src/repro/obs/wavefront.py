@@ -1,0 +1,364 @@
+"""Idle-wave extraction: tracking one planted delay across the machine.
+
+Afzal, Hager & Wellein (arXiv:1905.10603) showed that a single one-off
+delay on one rank does not just stretch that rank's timeline — it
+launches an *idle wave* that travels rank-to-rank through the
+communication dependency graph.  In a perfectly quiet bulk-synchronous
+run the wave propagates undamped at a finite speed set by the
+collective's message pattern; background system noise supplies the
+receiver-side slack that absorbs part of the delay at every hop, so
+the wave's residual magnitude decays (roughly exponentially) with hop
+distance, faster under noisier backgrounds.  This module measures all
+of that from simulation output, with zero new instrumentation: the
+input is the :meth:`~repro.obs.DependencyRecorder.edge_log` of two
+runs of the *same* configuration — one baseline, one with a
+:attr:`repro.faults.FaultPlan.one_off` delay planted at
+``(source_rank, t0)``.
+
+Method
+------
+Determinism makes the hard part trivial.  Both runs execute the exact
+same program, so their edge logs are *structurally identical* — the
+k-th completed receive wait on rank r is the same wait in both runs,
+just possibly at a different time (:func:`match_edge_logs` verifies
+this and pairs them 1:1).  The wave's measured arrival at a rank is
+then simply the end time of that rank's first wait whose completion
+shifted by at least ``threshold_ns``, and the residual delay there is
+that shift.  Independently, :func:`propagate_delay` replays the causal
+definition of the wave on the delayed log alone — a message carries
+the wave iff it was sent at-or-after the wave's arrival at its sender
+— giving a graph-predicted arrival time and a hop count (shortest
+causal distance from the source) per rank.  Hop counts turn the
+arrival and residual maps into two scalar fits:
+
+* **speed** — least-squares slope of arrival time vs. hops, reported
+  as ns/hop and hops/s (on a ring, one hop is one rank, so hops/s is
+  the paper's ranks/s);
+* **decay length** — least-squares slope of ln(residual) vs. hops;
+  the decay length is ``-1/slope`` hops, or ``None`` when the wave is
+  undamped (non-negative slope), as in a quiet run.
+
+Everything is pure integer/float arithmetic over recorded state, so
+results are exact functions of the seed — byte-identical across
+reruns and across ``--workers`` process fan-out.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["WavefrontResult", "match_edge_logs", "propagate_delay",
+           "extract_wavefront", "format_wavefront"]
+
+#: Default arrival threshold: a wait must shift by at least this
+#: fraction of the planted duration to count as the wave's arrival.
+DEFAULT_THRESHOLD_FRACTION = 0.05
+
+
+def match_edge_logs(baseline: dict, delayed: dict
+                    ) -> dict[int, list[tuple[int, int, int, int]]]:
+    """Pair the two runs' waits 1:1 by per-rank completion order.
+
+    Returns ``{rank: [(baseline_end, delayed_end, src, sent_at), ...]}``
+    for every rank, in completion order.  Raises :class:`ConfigError`
+    if the logs are not structurally identical (different rank sets,
+    wait counts, peer sequences, or operation sequences) — that means
+    the two runs were *not* the same program, and any pairing would be
+    meaningless.
+    """
+    b_waits, d_waits = baseline["waits"], delayed["waits"]
+    if set(b_waits) != set(d_waits):
+        raise ConfigError(
+            "edge logs cover different rank sets: "
+            f"{sorted(set(b_waits) ^ set(d_waits))} differ")
+    out: dict[int, list[tuple[int, int, int, int]]] = {}
+    for rank in sorted(b_waits):
+        b_list, d_list = b_waits[rank], d_waits[rank]
+        if len(b_list) != len(d_list):
+            raise ConfigError(
+                f"rank {rank}: {len(b_list)} baseline waits vs "
+                f"{len(d_list)} delayed — runs are not the same program")
+        pairs: list[tuple[int, int, int, int]] = []
+        for k, (b, d) in enumerate(zip(b_list, d_list)):
+            # (start, end, src, sent_at, delivered_at, op)
+            if b[2] != d[2] or b[5] != d[5]:
+                raise ConfigError(
+                    f"rank {rank} wait {k}: baseline (src={b[2]}, "
+                    f"op={b[5]}) vs delayed (src={d[2]}, op={d[5]}) — "
+                    "runs are not the same program")
+            pairs.append((b[1], d[1], d[2], d[3]))
+        out[rank] = pairs
+    return out
+
+
+def propagate_delay(edge_log: dict, source_rank: int, t0_ns: int
+                    ) -> tuple[dict[int, int], dict[int, int]]:
+    """Causal wave replay on a single (delayed) edge log.
+
+    The wave starts at ``(source_rank, t0_ns)``.  A receive wait
+    carries it onward iff the wave has already arrived at the sender
+    by the time the message was sent (``sent_at >= arrival[src]``);
+    the receiver's arrival time is then the wait's end.  Returns
+    ``(arrival_ns, hops)`` over the ranks the wave reaches, with
+    ``arrival_ns[source_rank] == t0_ns`` and ``hops`` the causal hop
+    distance of each rank's *earliest* arrival.
+
+    A single chronological sweep over waits sorted by end time is
+    exact: any wait that qualifies ends strictly after the wait that
+    set its sender's arrival, so by the time the sweep reaches it the
+    sender's arrival (if any) is already known and minimal.
+    """
+    events: list[tuple[int, int, int, int]] = []
+    for rank, waits in edge_log["waits"].items():
+        for start, end, src, sent_at, _delivered, _op in waits:
+            events.append((end, rank, src, sent_at))
+    events.sort()
+    arrival: dict[int, int] = {source_rank: t0_ns}
+    hops: dict[int, int] = {source_rank: 0}
+    for end, rank, src, sent_at in events:
+        if rank in arrival:
+            continue  # earliest arrival already found
+        src_arrival = arrival.get(src)
+        if src_arrival is not None and sent_at >= src_arrival:
+            arrival[rank] = end
+            hops[rank] = hops[src] + 1
+    return arrival, hops
+
+
+@dataclass(frozen=True)
+class WavefrontResult:
+    """The measured and predicted wave from one planted delay.
+
+    All per-rank maps cover only the ranks the wave reached (always
+    including the source itself).
+    """
+
+    source_rank: int
+    t0_ns: int
+    duration_ns: int
+    threshold_ns: int
+    n_ranks: int
+    #: Measured arrival: end time of the first shifted wait per rank.
+    arrival_ns: dict[int, int] = field(default_factory=dict)
+    #: Residual delay magnitude at arrival (the shift of that wait).
+    residual_ns: dict[int, int] = field(default_factory=dict)
+    #: Largest shift any of the rank's waits ever saw (all ranks, so a
+    #: fully absorbed wave still leaves its sub-threshold footprint).
+    peak_shift_ns: dict[int, int] = field(default_factory=dict)
+    #: Program-completion shift per rank (all ranks).
+    completion_shift_ns: dict[int, int] = field(default_factory=dict)
+    #: Graph-predicted arrival from :func:`propagate_delay`.
+    predicted_arrival_ns: dict[int, int] = field(default_factory=dict)
+    #: Causal hop distance from the source (predicted wave).
+    hops: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ranks_reached(self) -> int:
+        """How many ranks saw a measurable arrival (incl. the source)."""
+        return len(self.arrival_ns)
+
+    def arrival_order(self) -> list[int]:
+        """Ranks sorted by measured arrival time (source first; ties
+        broken by rank id for determinism)."""
+        return sorted(self.arrival_ns,
+                      key=lambda r: (self.arrival_ns[r], r))
+
+    @property
+    def speed_ns_per_hop(self) -> float | None:
+        """Least-squares slope of measured arrival vs. hop distance.
+
+        ``None`` when fewer than two distinct hop counts were reached.
+        """
+        pts = [(self.hops[r], self.arrival_ns[r])
+               for r in sorted(self.arrival_ns) if r in self.hops]
+        return _slope(pts)
+
+    @property
+    def speed_hops_per_s(self) -> float | None:
+        """The wave's propagation speed (ranks/s on a ring)."""
+        per_hop = self.speed_ns_per_hop
+        if per_hop is None or per_hop <= 0:
+            return None
+        return 1e9 / per_hop
+
+    @property
+    def decay_slope(self) -> float | None:
+        """Least-squares slope of ln(residual) vs. hop distance.
+
+        Every rank on the causal wave contributes a point: reached
+        ranks at their arrival residual, unreached ranks at their
+        (sub-threshold) peak shift — a fully absorbed wave therefore
+        fits a steeply negative slope instead of disappearing from
+        the fit.
+        """
+        pts = []
+        for r in sorted(self.hops):
+            resid = self.residual_ns.get(r)
+            if resid is None:
+                resid = self.peak_shift_ns.get(r, 0)
+            pts.append((self.hops[r], math.log(max(resid, 1))))
+        return _slope(pts)
+
+    @property
+    def decay_length_ranks(self) -> float | None:
+        """Hops for the residual to fall by 1/e; ``None`` if undamped.
+
+        A quiet lockstep run propagates the full delay forever (slope
+        ~0 → undamped); background noise absorbs part of it per hop
+        (negative slope → finite decay length).
+        """
+        slope = self.decay_slope
+        if slope is None or slope >= 0:
+            return None
+        return -1.0 / slope
+
+    @property
+    def undamped(self) -> bool:
+        """True when the wave reached *every* rank still carrying the
+        full planted delay (to within the arrival threshold)."""
+        floor = self.duration_ns - self.threshold_ns
+        return (self.ranks_reached == self.n_ranks
+                and all(r >= floor for r in self.residual_ns.values()))
+
+    @property
+    def effective_decay_length(self) -> float:
+        """The comparable decay scalar: ``inf`` when undamped, else
+        :attr:`decay_length_ranks` (``inf`` again when the fit finds
+        no damping).  This is what E20's monotonicity check orders:
+        quiet > fine-grained noise > coarse-grained noise."""
+        if self.undamped:
+            return math.inf
+        length = self.decay_length_ranks
+        return math.inf if length is None else length
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-friendly summary (rank keys stringified)."""
+        return {
+            "source_rank": self.source_rank,
+            "t0_ns": self.t0_ns,
+            "duration_ns": self.duration_ns,
+            "threshold_ns": self.threshold_ns,
+            "n_ranks": self.n_ranks,
+            "ranks_reached": self.ranks_reached,
+            "arrival_order": self.arrival_order(),
+            "arrival_ns": {str(r): v for r, v in
+                           sorted(self.arrival_ns.items())},
+            "residual_ns": {str(r): v for r, v in
+                            sorted(self.residual_ns.items())},
+            "peak_shift_ns": {str(r): v for r, v in
+                              sorted(self.peak_shift_ns.items())},
+            "completion_shift_ns": {str(r): v for r, v in
+                                    sorted(self.completion_shift_ns.items())},
+            "predicted_arrival_ns": {str(r): v for r, v in
+                                     sorted(self.predicted_arrival_ns.items())},
+            "hops": {str(r): v for r, v in sorted(self.hops.items())},
+            "speed_ns_per_hop": self.speed_ns_per_hop,
+            "speed_hops_per_s": self.speed_hops_per_s,
+            "decay_slope": self.decay_slope,
+            "decay_length_ranks": self.decay_length_ranks,
+            "effective_decay_length": (
+                None if math.isinf(self.effective_decay_length)
+                else self.effective_decay_length),
+            "undamped": self.undamped,
+        }
+
+
+def _slope(points: list[tuple[float, float]]) -> float | None:
+    """Ordinary least-squares slope; ``None`` without x-variance."""
+    if len(points) < 2:
+        return None
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in points)
+    if var_x == 0:
+        return None
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return cov / var_x
+
+
+def extract_wavefront(baseline: dict, delayed: dict, *,
+                      source_rank: int, t0_ns: int, duration_ns: int,
+                      threshold_ns: int | None = None) -> WavefrontResult:
+    """Measure the idle wave launched by one planted one-off delay.
+
+    ``baseline`` and ``delayed`` are :meth:`DependencyRecorder.edge_log
+    <repro.obs.DependencyRecorder.edge_log>` dicts from two runs of the
+    same configuration, differing only in the
+    :attr:`~repro.faults.FaultPlan.one_off` entry at ``(source_rank,
+    t0_ns)`` of length ``duration_ns``.  ``threshold_ns`` (default 5%
+    of the duration, at least 1 ns) separates wave arrivals from
+    numeric dust.
+    """
+    if duration_ns <= 0:
+        raise ConfigError(f"duration_ns must be > 0, got {duration_ns}")
+    if threshold_ns is None:
+        threshold_ns = max(
+            1, int(duration_ns * DEFAULT_THRESHOLD_FRACTION))
+    pairs = match_edge_logs(baseline, delayed)
+    if source_rank not in pairs:
+        raise ConfigError(
+            f"source rank {source_rank} not present in the edge logs")
+
+    arrival: dict[int, int] = {source_rank: t0_ns}
+    residual: dict[int, int] = {source_rank: duration_ns}
+    peak: dict[int, int] = {source_rank: duration_ns}
+    for rank, waits in pairs.items():
+        shifts = [d_end - b_end for b_end, d_end, _, _ in waits]
+        if rank == source_rank:
+            if shifts:
+                peak[rank] = max(peak[rank], max(shifts))
+            continue
+        for (_b_end, d_end, _, _), shift in zip(waits, shifts):
+            if shift >= threshold_ns:
+                arrival[rank] = d_end
+                residual[rank] = shift
+                break
+        if shifts:
+            peak[rank] = max(shifts)
+
+    completion_shift = {
+        rank: delayed["completions"][rank] - baseline["completions"][rank]
+        for rank in sorted(baseline["completions"])}
+    predicted, hops = propagate_delay(delayed, source_rank, t0_ns)
+    return WavefrontResult(
+        source_rank=source_rank, t0_ns=t0_ns, duration_ns=duration_ns,
+        threshold_ns=threshold_ns, n_ranks=len(pairs),
+        arrival_ns=arrival, residual_ns=residual, peak_shift_ns=peak,
+        completion_shift_ns=completion_shift,
+        predicted_arrival_ns=predicted, hops=hops)
+
+
+def format_wavefront(result: WavefrontResult) -> str:
+    """A human-readable per-rank wave table plus the fitted scalars."""
+    from ..analysis import format_table
+    rows = []
+    for rank in result.arrival_order():
+        rows.append([
+            str(rank),
+            str(result.hops.get(rank, "-")),
+            f"{result.arrival_ns[rank]:,}",
+            f"{result.residual_ns[rank]:,}",
+            f"{result.peak_shift_ns.get(rank, 0):,}",
+        ])
+    table = format_table(
+        ["rank", "hops", "arrival_ns", "residual_ns", "peak_shift_ns"],
+        rows)
+    per_hop = result.speed_ns_per_hop
+    decay = result.decay_length_ranks
+    lines = [
+        f"idle wave from rank {result.source_rank} "
+        f"(t0={result.t0_ns:,} ns, duration={result.duration_ns:,} ns)",
+        table,
+        f"reached {result.ranks_reached}/{result.n_ranks} ranks",
+        ("speed: n/a" if per_hop is None else
+         f"speed: {per_hop:,.0f} ns/hop "
+         f"({result.speed_hops_per_s:,.0f} hops/s)"),
+        ("decay: undamped" if decay is None else
+         f"decay length: {decay:.2f} hops"),
+    ]
+    return "\n".join(lines)

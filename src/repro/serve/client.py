@@ -62,7 +62,11 @@ class ServeClient:
 
         ``http.client`` decodes the chunked transfer coding, so
         ``readline`` returns complete NDJSON lines as the server
-        flushes them.
+        flushes them.  A stream that dies before the terminal
+        ``stats`` event — a killed server, a dropped connection, a
+        truncated NDJSON line — surfaces as :class:`ServeError`
+        (never a raw traceback): partial results must not be mistaken
+        for a complete job.
         """
         conn = self._connection()
         try:
@@ -75,10 +79,22 @@ class ServeClient:
                 raise ServeError(f"job rejected ({resp.status}): "
                                  f"{doc.get('error', doc)}")
             while True:
-                line = resp.readline()
+                try:
+                    line = resp.readline()
+                except (http.client.HTTPException, ConnectionError,
+                        OSError) as exc:
+                    raise ServeError(
+                        f"connection lost mid-stream: {exc}") from exc
                 if not line:
-                    break
-                event = json.loads(line)
+                    raise ServeError(
+                        "server closed the stream before the terminal "
+                        "'stats' event; partial results discarded")
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ServeError(
+                        "server closed mid-line (partial NDJSON: "
+                        f"{line[:80]!r})") from exc
                 yield event
                 if event.get("event") == "stats":
                     break

@@ -28,6 +28,8 @@ GOLDENS = {
     "e6_small": ("E6", "small"),
     "e15_small": ("E15", "small"),
     "e16_small": ("E16", "small"),
+    "e17_small": ("E17", "small"),
+    "e20_small": ("E20", "small"),
 }
 
 

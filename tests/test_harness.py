@@ -15,7 +15,7 @@ from repro.harness import (
 
 
 def test_registry_is_complete():
-    assert experiment_ids() == [f"E{i}" for i in range(1, 18)]
+    assert experiment_ids() == [f"E{i}" for i in range(1, 18)] + ["E20"]
     for eid, (title, fn) in EXPERIMENTS.items():
         assert title
         assert callable(fn)

@@ -6,13 +6,21 @@ order; every allreduce algorithm computes the same value; whole-machine
 runs are bit-deterministic; trace capture/replay is lossless.
 """
 
+import json
+import os
+import subprocess
+import sys
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+import repro
 from repro.core import ExperimentConfig, Machine, MachineConfig, run_experiment
+from repro.faults import FaultPlan, parse_faults
 from repro.mpi import wait_all
 from repro.noise import PeriodicNoise, PoissonNoise, TraceNoise
+from repro.parallel import config_key, config_token
 from repro.sim import MS, SEC, US
 
 _slow = settings(max_examples=20, deadline=None,
@@ -172,6 +180,129 @@ def test_property_iteration_spans_tile_the_run(seed, n_iter):
         assert len(spans) == n_iter
         for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
             assert s0 <= e0 == s1 <= e1
+
+
+# -- numpy payload integrity through collectives ----------------------------------------------
+
+# -- FaultPlan seed-determinism ----------------------------------------------------------
+
+@given(seed=st.integers(0, 2**20),
+       rate=st.floats(0.05, 0.9),
+       n_nodes=st.integers(1, 64),
+       one_off=st.lists(
+           st.tuples(st.integers(0, 63), st.integers(0, 10**9),
+                     st.integers(1, 10**9)),
+           max_size=4))
+@_slow
+def test_property_faultplan_same_seed_same_decisions(seed, rate, n_nodes,
+                                                     one_off):
+    """Two independently constructed plans with the same seed make
+    identical per-node and per-message decisions — rebuild order, call
+    order, and machine size never enter the derivation."""
+    one_off = tuple((r % n_nodes, s, d) for r, s, d in one_off)
+    mk = lambda: FaultPlan(drop_rate=min(rate, 0.99), slow_node_rate=rate,
+                           slow_factor=0.5, one_off=one_off, seed=seed)
+    a, b = mk(), mk()
+    assert a.slow_nodes_for(n_nodes) == b.slow_nodes_for(n_nodes)
+    # Calling twice on the same instance is just as stable (no hidden
+    # draw-order state).
+    assert a.slow_nodes_for(n_nodes) == a.slow_nodes_for(n_nodes)
+    assert a.one_off_delays_for(n_nodes) == b.one_off_delays_for(n_nodes)
+    for uid in ("p0/0", "p1/3", "p2/1"):
+        assert a.drop_message(0, 1, uid) == b.drop_message(0, 1, uid)
+    # Growing the machine never re-rolls the nodes both sizes contain.
+    bigger = a.slow_nodes_for(n_nodes + 8)
+    for node, factor in a.slow_nodes_for(n_nodes).items():
+        assert bigger[node] == factor
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_property_parse_faults_roundtrip_deterministic(seed):
+    """The same spec string parses to the same plan (and the same
+    planted one-off schedule) on every call."""
+    spec = "slow=0.3x0.5,one_off=3:5ms:1ms,one_off=0:0:250us"
+    a, b = parse_faults(spec, seed=seed), parse_faults(spec, seed=seed)
+    assert a == b
+    assert a.one_off == ((3, 5_000_000, 1_000_000), (0, 0, 250_000))
+    assert a.one_off_delays_for(8) == b.one_off_delays_for(8)
+    assert a.slow_nodes_for(32) == b.slow_nodes_for(32)
+
+
+def test_faultplan_decisions_identical_across_processes():
+    """The slow-node map and one-off schedule are functions of the
+    seed alone — a fresh interpreter with a different PYTHONHASHSEED
+    must reproduce them exactly (nothing may route through hash())."""
+    plan = FaultPlan(slow_node_rate=0.4, slow_factor=0.5,
+                     one_off=((3, 5_000_000, 1_000_000),), seed=1234)
+    local = {"slow": {str(k): v for k, v in plan.slow_nodes_for(24).items()},
+             "one_off": {str(k): list(map(list, v))
+                         for k, v in plan.one_off_delays_for(24).items()}}
+    prog = (
+        "import json\n"
+        "from repro.faults import FaultPlan\n"
+        "plan = FaultPlan(slow_node_rate=0.4, slow_factor=0.5,\n"
+        "                 one_off=((3, 5_000_000, 1_000_000),), seed=1234)\n"
+        "print(json.dumps({\n"
+        "  'slow': {str(k): v for k, v in plan.slow_nodes_for(24).items()},\n"
+        "  'one_off': {str(k): [list(d) for d in v]\n"
+        "              for k, v in plan.one_off_delays_for(24).items()}}))\n")
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "999"
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_dir
+    out = subprocess.run([sys.executable, "-c", prog], env=env,
+                         capture_output=True, text=True, check=True)
+    assert json.loads(out.stdout) == local
+
+
+# -- config_token canonicalisation -------------------------------------------------------
+
+_token_keys = (st.integers(-5, 5) | st.text(max_size=4) | st.booleans())
+_token_scalars = (st.none() | st.booleans() | st.integers(-10**6, 10**6)
+                  | st.floats(allow_nan=False, allow_infinity=False)
+                  | st.text(max_size=8))
+_token_objects = st.recursive(
+    _token_scalars,
+    lambda children: (st.lists(children, max_size=4)
+                      | st.dictionaries(_token_keys, children, max_size=4)),
+    max_leaves=12)
+
+
+def _reinsert_reversed(obj):
+    """The same value with every dict's insertion order reversed."""
+    if isinstance(obj, dict):
+        return {k: _reinsert_reversed(v)
+                for k, v in reversed(list(obj.items()))}
+    if isinstance(obj, list):
+        return [_reinsert_reversed(v) for v in obj]
+    return obj
+
+
+@given(obj=_token_objects)
+@_slow
+def test_property_config_token_is_order_stable_and_jsonable(obj):
+    """Tokens are JSON-round-trippable and invariant under dict
+    insertion-order permutation — the property the on-disk result
+    cache's key stability rests on."""
+    token = config_token(obj)
+    # JSON round-trip must not lose information (the key is built from
+    # the JSON encoding).
+    encoded = json.dumps(token, sort_keys=True)
+    assert json.loads(encoded) == json.loads(encoded)
+    assert config_key(obj) == config_key(obj)
+    assert config_key(obj) == config_key(_reinsert_reversed(obj))
+
+
+@given(n=st.integers(-10**6, 10**6))
+@_slow
+def test_property_config_token_keeps_key_types(n):
+    """Typed keys never collapse: {1: v} and {"1": v} (and int vs str
+    members generally) must produce different cache keys."""
+    assert config_key({n: "v"}) != config_key({str(n): "v"})
+    assert config_key([n]) != config_key([str(n)])
+    assert config_key({n, str(n)}) != config_key({str(n)})
+    assert config_key((n,)) == config_key([n])  # seq shape, not type
 
 
 # -- numpy payload integrity through collectives ----------------------------------------------

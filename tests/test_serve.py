@@ -320,3 +320,83 @@ def test_cli_submit_connection_refused():
     rc = main(["submit", "--port", "1", "--app", "bsp"], out=out)
     assert rc == 2
     assert "cannot reach server" in out.getvalue()
+
+
+# -- mid-stream disconnect regression ---------------------------------------
+
+def _truncating_server(chunks):
+    """A one-shot fake server: accept one request, stream the given
+    pre-encoded chunked-transfer byte strings, then slam the socket
+    shut without ever sending the terminal ``stats`` event."""
+    import socket
+    import threading
+
+    srv = socket.socket()
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    port = srv.getsockname()[1]
+
+    def serve():
+        conn, _addr = srv.accept()
+        try:
+            conn.settimeout(5)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                data += conn.recv(65536)
+            conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: application/x-ndjson\r\n"
+                         b"Transfer-Encoding: chunked\r\n\r\n")
+            for chunk in chunks:
+                conn.sendall(f"{len(chunk):x}\r\n".encode()
+                             + chunk + b"\r\n")
+        finally:
+            conn.close()
+            srv.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    return port
+
+
+def _ndjson(event):
+    return (json.dumps(event) + "\n").encode()
+
+
+def test_submit_raises_clean_error_when_stream_dies_early():
+    """A server that disappears after streaming some events (but
+    before the terminal 'stats' line) must surface as ServeError, not
+    a StopIteration/JSONDecodeError traceback."""
+    record = {"event": "record",
+              "record": {"nodes": 2, "pattern": "quiet", "makespan_ms": 1.0}}
+    port = _truncating_server([_ndjson(record)])
+    client = ServeClient("127.0.0.1", port, timeout=5)
+    events = []
+    with pytest.raises(ServeError, match="before the terminal 'stats'"):
+        for event in client.submit({"kind": "sweep"}):
+            events.append(event)
+    assert events == [record]  # everything before the cut still streamed
+
+
+def test_submit_raises_clean_error_on_partial_ndjson_line():
+    """A connection cut mid-line (truncated NDJSON) is a ServeError
+    too — whichever of the read/decode layers sees it first."""
+    port = _truncating_server([b'{"event": "rec'])
+    client = ServeClient("127.0.0.1", port, timeout=5)
+    with pytest.raises(ServeError):
+        list(client.submit({"kind": "sweep"}))
+
+
+def test_cli_submit_midstream_close_is_rc2():
+    """`repro submit` against a server that dies mid-stream: clean
+    one-line error on stdout and exit code 2."""
+    from repro.cli import main
+    import io
+
+    record = {"event": "record",
+              "record": {"nodes": 2, "pattern": "quiet", "makespan_ms": 1.0}}
+    port = _truncating_server([_ndjson(record)])
+    out = io.StringIO()
+    rc = main(["submit", "--port", str(port), "--app", "bsp",
+               "--nodes", "2", "--patterns", "quiet"], out=out)
+    assert rc == 2
+    assert "error:" in out.getvalue()
+    assert "Traceback" not in out.getvalue()
