@@ -150,6 +150,114 @@ def test_serve_load_1000_concurrent_requests(benchmark, tmp_path):
         "warm requests")
 
 
+#: Requests per arm of the obs-on vs obs-off throughput comparison.
+N_OBS_REQUESTS = 300
+
+#: Observability-on throughput must stay within this fraction of the
+#: zero-telemetry throughput (the "observer effect" budget — the same
+#: property E7 gates for the simulation layer, here for the service).
+OBS_THROUGHPUT_FLOOR = 0.9
+
+
+def test_serve_load_full_observability_on(benchmark, tmp_path):
+    """The load test with the whole observability plane lit up:
+    global metrics + det_check on, every 8th job requesting an
+    end-to-end trace, the oplog ring collecting every request, and a
+    sampler thread scraping ``/metrics?window=`` throughout (the
+    ``service-timeseries.json`` CI artifact).  Gates: zero errors,
+    p99 under the same floor as the dark run, and throughput within
+    ``OBS_THROUGHPUT_FLOOR`` of a paired zero-telemetry run."""
+    import threading
+
+    from repro import obs
+
+    jobs = [dict(_JOBS[i % len(_JOBS)]) for i in range(N_OBS_REQUESTS)]
+    jobs_traced = [dict(j, trace=(i % 8 == 0))
+                   for i, j in enumerate(jobs)]
+
+    with BackgroundServer(workers=2, cache=str(tmp_path)) as bg:
+        host, port = bg.address
+        client = ServeClient(host, port)
+        for job in _JOBS:  # warm: every distinct point simulated once
+            _, stats = client.records(job)
+            assert stats["errors"] == 0
+
+        def replay_dark():
+            return asyncio.run(_replay(host, port, jobs))
+
+        def replay_lit():
+            return asyncio.run(_replay(host, port, jobs_traced))
+
+        # Paired throughput arms, same mix, same warm cache.
+        t0 = time.perf_counter()
+        dark_lat, dark_results = replay_dark()
+        dark_s = time.perf_counter() - t0
+
+        obs.disable()
+        obs.configure(metrics=True, det_check=True)
+        timeseries = []
+        stop = threading.Event()
+
+        def sample():
+            while not stop.is_set():
+                try:
+                    doc = client.metrics(window=5)
+                except Exception:
+                    break
+                timeseries.append({"serve": doc["serve"],
+                                   "window": doc.get("window", {})})
+                stop.wait(0.2)
+
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+        try:
+            t0 = time.perf_counter()
+            lit_lat, lit_results = benchmark.pedantic(replay_lit, rounds=1,
+                                                      iterations=1)
+            lit_s = time.perf_counter() - t0
+        finally:
+            stop.set()
+            sampler.join(timeout=5)
+            obs.disable()
+
+        with open("service-timeseries.json", "w") as f:
+            json.dump({"samples": timeseries,
+                       "requests": N_OBS_REQUESTS,
+                       "wall_s": round(lit_s, 3)}, f, indent=2)
+        after = client.metrics()["serve"]
+        errors = client.logs(level="error")
+
+    # -- correctness under full observability --------------------------------
+    for results in (dark_results, lit_results):
+        assert all(r is not None for r in results)
+        for events in results:
+            _, stats = job_records(events)
+            assert stats and stats["errors"] == 0
+    traces = [e for events in lit_results for e in events
+              if e.get("event") == "trace"]
+    assert len(traces) == sum(1 for j in jobs_traced if j.get("trace"))
+    assert all(t["request_id"].startswith("r-") for t in traces)
+    assert after["point_errors"] == 0
+    assert errors["count"] == 0, f"error log not empty: {errors['events']}"
+
+    # -- observer effect ------------------------------------------------------
+    dark_rps = N_OBS_REQUESTS / dark_s
+    lit_rps = N_OBS_REQUESTS / lit_s
+    ratio = lit_rps / dark_rps
+    p99 = _percentile(lit_lat, 0.99)
+    print(f"\nobs-on load: dark {dark_rps:.0f} req/s, lit "
+          f"{lit_rps:.0f} req/s (ratio {ratio:.3f}), p99 "
+          f"{p99 * 1e3:.1f}ms, {len(traces)} traced, "
+          f"{len(timeseries)} timeseries samples")
+    assert p99 < P99_FLOOR_S, (
+        f"p99 {p99:.3f}s breaches the {P99_FLOOR_S}s floor with "
+        "observability on")
+    assert ratio >= OBS_THROUGHPUT_FLOOR, (
+        f"observability tax too high: {lit_rps:.0f} req/s lit vs "
+        f"{dark_rps:.0f} req/s dark (ratio {ratio:.3f} < "
+        f"{OBS_THROUGHPUT_FLOOR})")
+
+
 def test_serve_identical_burst_simulates_once(benchmark, tmp_path):
     """100 identical jobs arriving together -> exactly 2 simulations
     (the noisy point and its quiet twin), everything else joined."""

@@ -32,6 +32,14 @@ Commands
 ``submit [--compare] --app pop --nodes 4,16 --patterns ...``
     Submit a job to a running server and print the same table
     ``sweep`` prints (results are byte-identical for equal configs).
+    ``--trace out.json`` requests an end-to-end request trace: the
+    server stitches its pipeline phases with the workers' simulation
+    spans into one Perfetto document (see docs/SERVICE.md).
+``top [--port 8750] [--interval 2] [--once]``
+    Live terminal dashboard for a running server: polls
+    ``/metrics?window=N`` and ``/v1/logs`` and redraws throughput,
+    latency quantiles, hit rate, worker utilization, and recent
+    errors (with request ids) every interval.
 
 ``compare`` and ``sweep`` accept ``--faults SPEC`` to run on an
 unreliable machine (``drop=0.01,dup=0.002,timeout=1ms,...`` — see
@@ -120,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write the metrics registry as JSON to PATH "
                             "(implies --metrics)")
+        p.add_argument("--log-json", metavar="PATH", default=None,
+                       help="append structured JSON operation logs "
+                            "(one NDJSON doc per event) to PATH")
 
     def add_topology_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--topology", default="switch", metavar="SPEC",
@@ -223,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(safe to share with CLI sweeps)")
     p_srv.add_argument("--metrics-json", metavar="PATH", default=None,
                        help="write the /metrics document here on shutdown")
+    p_srv.add_argument("--log-json", metavar="PATH", default=None,
+                       help="append structured JSON operation logs "
+                            "(request/job/point events with correlation "
+                            "ids) to PATH")
 
     p_sub = sub.add_parser(
         "submit", help="submit a compare/sweep job to a running server")
@@ -240,6 +255,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--seed", type=int, default=0)
     p_sub.add_argument("--faults", metavar="SPEC", default=None)
     p_sub.add_argument("--csv", metavar="PATH")
+    p_sub.add_argument("--trace", metavar="PATH", default=None,
+                       help="request an end-to-end request trace and "
+                            "write the stitched Perfetto document "
+                            "(server phases + worker sim spans) to PATH")
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard for a running experiment server")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=8750)
+    p_top.add_argument("--window", type=float, default=30.0, metavar="S",
+                       help="rolling-rate window in seconds (default 30)")
+    p_top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                       help="refresh interval in seconds (default 2)")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop after N frames (default 0 = forever)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit "
+                            "(same as --iterations 1)")
 
     p_swp = sub.add_parser("sweep", help="scaling sweep with baselines")
     p_swp.add_argument("--app", default="bsp", choices=workload_names())
@@ -278,6 +311,11 @@ def _apply_obs_flags(args: argparse.Namespace) -> None:
     if getattr(args, "metrics", False) or trace or metrics_json:
         _obs.configure(metrics=True, trace=trace or None,
                        trace_categories=categories)
+    log_json = getattr(args, "log_json", None)
+    if log_json:
+        from .obs import oplog as _oplog
+
+        _oplog.configure(path=log_json)
 
 
 def _finish_obs(args: argparse.Namespace, out: _t.TextIO) -> None:
@@ -503,6 +541,11 @@ def _cmd_serve(args: argparse.Namespace, out: _t.TextIO) -> int:
     server = ExperimentServer(workers=args.workers, cache=args.cache)
     server.warm()  # fork workers before the event loop starts
     _obs.configure(metrics=True)
+    if args.log_json:
+        from .obs import oplog as _oplog
+
+        _oplog.configure(path=args.log_json)
+        out.write(f"logging JSON events to {args.log_json}\n")
 
     def _terminate(signum: int, frame: _t.Any) -> None:
         # Graceful shutdown on SIGTERM too: non-interactive shells
@@ -571,6 +614,8 @@ def _cmd_submit(args: argparse.Namespace, out: _t.TextIO) -> int:
         job.update(kind="compare", nodes=nodes[0], pattern=patterns[0])
     else:
         job.update(kind="sweep", nodes=nodes, patterns=patterns)
+    if args.trace:
+        job["trace"] = True
 
     client = ServeClient(args.host, args.port)
     records = []
@@ -584,6 +629,15 @@ def _cmd_submit(args: argparse.Namespace, out: _t.TextIO) -> int:
             elif event.get("event") == "error":
                 out.write(f"{event['label']} failed ({event['kind']}): "
                           f"{event['message']}\n")
+            elif event.get("event") == "trace" and args.trace:
+                import json
+
+                with open(args.trace, "w") as f:
+                    json.dump(event["trace"], f, sort_keys=True)
+                    f.write("\n")
+                out.write(f"trace: {event['points']} points "
+                          f"(request {event.get('request_id', '?')}) "
+                          f"written to {args.trace}\n")
             yield event
 
     records, stats = job_records(_events())
@@ -594,6 +648,17 @@ def _cmd_submit(args: argparse.Namespace, out: _t.TextIO) -> int:
               f"{stats.get('errors', 0)} errors "
               f"in {stats.get('wall_s', 0.0):.2f}s\n")
     return 1 if stats.get("errors") else 0
+
+
+def _cmd_top(args: argparse.Namespace, out: _t.TextIO) -> int:
+    from .serve import ServeClient
+    from .serve.top import run_top
+
+    iterations: int | None = 1 if args.once else (args.iterations or None)
+    clear = hasattr(out, "isatty") and out.isatty()
+    return run_top(ServeClient(args.host, args.port, timeout=10.0), out,
+                   window=args.window, interval=args.interval,
+                   iterations=iterations, clear=clear)
 
 
 def _cmd_sweep(args: argparse.Namespace, out: _t.TextIO) -> int:
@@ -648,6 +713,11 @@ def main(argv: _t.Sequence[str] | None = None,
                 out.write(f"error: cannot reach server at "
                           f"{args.host}:{args.port}: {exc}\n")
                 return 2
+        if args.command == "top":
+            try:
+                return _cmd_top(args, out)
+            except KeyboardInterrupt:
+                return 0
         if args.command == "lint":
             from .lint.cli import run_lint
 

@@ -26,6 +26,16 @@ observes the simulator itself.  Two instruments, one switchboard:
   edge logs of a baseline and a one-off-delayed run, measures the
   planted delay's rank-by-rank arrival times and residual magnitude,
   and fits the propagation speed and decay length E20 validates.
+* :mod:`repro.obs.oplog` — structured operational JSON logging with
+  contextvars-propagated correlation ids (``request_id`` → ``job_id``
+  → ``point_key`` → worker pid): ring buffer behind ``GET /v1/logs``
+  plus an optional NDJSON file sink (``--log-json``).
+* :mod:`repro.obs.prom` — Prometheus text exposition renderer and the
+  strict parser/validator CI uses to scrape-check ``GET /metrics``.
+* :mod:`repro.obs.reqtrace` — the per-request trace stitcher: server
+  phase spans plus worker-shipped simulation spans, exported as one
+  deterministic Perfetto document per request with flow arrows from
+  request to simulation.
 
 See docs/OBSERVABILITY.md for the metric catalogue and a Perfetto
 walkthrough.
@@ -50,6 +60,7 @@ from .metrics import (
     MetricsRegistry,
     diff_snapshots,
 )
+from . import oplog, prom, reqtrace
 from .runtime import (
     configure,
     critpath_enabled,
@@ -59,6 +70,7 @@ from .runtime import (
     metrics_enabled,
     parse_categories,
     registry,
+    scoped_tracer,
     tracer,
     write_trace,
 )
@@ -82,6 +94,7 @@ __all__ = [
     "match_edge_logs", "propagate_delay",
     "configure", "disable", "metrics_enabled", "critpath_enabled",
     "det_check_enabled",
-    "registry", "tracer", "write_trace", "harvest_machine",
-    "parse_categories",
+    "registry", "tracer", "scoped_tracer", "write_trace",
+    "harvest_machine", "parse_categories",
+    "oplog", "prom", "reqtrace",
 ]

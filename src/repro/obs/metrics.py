@@ -190,6 +190,16 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def items(self) -> _t.Iterator[tuple[str, Labels, _Metric]]:
+        """``(name, labels, metric)`` triples in sorted key order.
+
+        The structured counterpart to :meth:`snapshot` — exporters
+        (e.g. :mod:`repro.obs.prom`) iterate live metric objects
+        instead of re-parsing ``name{k=v}`` snapshot keys.
+        """
+        for (name, labels), metric in sorted(self._metrics.items()):
+            yield name, labels, metric
+
     def snapshot(self, *, sim_only: bool = False) -> dict[str, _t.Any]:
         """A sorted, JSON-able view of every metric.
 

@@ -1,0 +1,213 @@
+"""Structured operational logging with correlation IDs (``oplog``).
+
+The simulation side of :mod:`repro.obs` answers "where did simulated
+time go"; this module answers the *service* question — "what is the
+process doing right now, and on whose behalf".  Every event is one
+flat JSON-able dict carrying:
+
+* ``ts`` — host wall-clock seconds (host scope only; nothing here
+  ever feeds back into simulation decisions),
+* ``seq`` — a monotonically increasing per-process sequence number
+  (total order even when two events share a timestamp),
+* ``level`` — ``"debug"`` | ``"info"`` | ``"warning"`` | ``"error"``,
+* ``event`` — a dotted event name (``request.start``, ``exec.point``,
+  ``job.finished`` — see docs/SERVICE.md for the reference),
+* the **correlation context**: whatever ``request_id`` / ``job_id`` /
+  ``point_key`` fields were pushed by enclosing :func:`context`
+  scopes, plus the event's own fields.
+
+Correlation rides :mod:`contextvars`, so ``asyncio`` tasks created
+inside ``with oplog.context(request_id=...)`` inherit the ids
+automatically — the experiment server pushes one context per HTTP
+request and every log line emitted while serving it (planner
+expansion, in-flight registration, executor fan-out) carries that
+``request_id`` without any argument threading.  A point owned by one
+request but *joined* by others logs under the owner's ids.
+
+Events land in a bounded ring buffer (queryable over ``GET
+/v1/logs``) and, when configured, stream as NDJSON to a file sink
+(CLI ``--log-json PATH``).  The ring is always on: it is a few
+dict-appends per request, bounded memory, and it is exactly the
+always-on attribution the source paper argues for — you cannot
+diagnose the stall you did not record.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import time
+import typing as _t
+from collections import deque
+
+from ..errors import ConfigError
+
+__all__ = ["OpLog", "LEVELS", "configure", "get", "reset", "log",
+           "context", "current_context"]
+
+#: Severity levels, least to most severe.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: i for i, name in enumerate(LEVELS)}
+
+#: Correlation fields pushed by enclosing :func:`context` scopes, as a
+#: flat ``(key, value, ...)`` tuple (cheap to copy per task).
+_CTX: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_oplog_ctx", default=())
+
+
+class OpLog:
+    """Bounded structured-event sink: ring buffer + optional file.
+
+    Parameters
+    ----------
+    cap:
+        Ring-buffer capacity (events beyond it evict the oldest and
+        increment :attr:`dropped`).
+    path:
+        Optional NDJSON file sink; every event is appended as one
+        ``json.dumps(..., sort_keys=True)`` line as it is emitted.
+    """
+
+    def __init__(self, cap: int = 4096, path: str | None = None) -> None:
+        if cap <= 0:
+            raise ConfigError(f"oplog cap must be > 0, got {cap}")
+        self.cap = cap
+        self._ring: deque[dict[str, _t.Any]] = deque(maxlen=cap)
+        self.dropped = 0
+        self.total = 0
+        self._seq = 0
+        self.path = path
+        self._sink: _t.TextIO | None = open(path, "a") if path else None
+
+    # -- recording -------------------------------------------------------
+    def emit(self, event: str, level: str = "info",
+             **fields: _t.Any) -> dict[str, _t.Any]:
+        """Record one event; returns the stored dict.
+
+        Context fields (see :func:`context`) are merged in first, so an
+        explicit keyword argument wins over an inherited one.
+        """
+        if level not in _LEVEL_RANK:
+            raise ConfigError(f"oplog level must be one of {LEVELS}, "
+                              f"got {level!r}")
+        self._seq += 1
+        doc: dict[str, _t.Any] = {
+            # Host wall clock: operational timestamps only, never fed
+            # back into simulation state.
+            "ts": round(time.time(), 6),  # detlint: disable=DET001 -- host-scoped log timestamp
+            "seq": self._seq,
+            "level": level,
+            "event": event,
+        }
+        ctx = _CTX.get()
+        for i in range(0, len(ctx), 2):
+            doc[ctx[i]] = ctx[i + 1]
+        doc.update(fields)
+        if len(self._ring) == self.cap:
+            self.dropped += 1
+        self._ring.append(doc)
+        self.total += 1
+        if self._sink is not None:
+            self._sink.write(json.dumps(doc, sort_keys=True,
+                                        default=str) + "\n")
+            self._sink.flush()
+        return doc
+
+    # -- reading ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self, *, level: str | None = None,
+               event: str | None = None,
+               since_seq: int = 0,
+               limit: int | None = None) -> list[dict[str, _t.Any]]:
+        """Retained events, oldest first, optionally filtered.
+
+        ``level`` is a *floor*: ``level="warning"`` returns warnings
+        and errors.  ``event`` matches the event name exactly or as a
+        dotted prefix (``"request"`` matches ``"request.start"``).
+        ``limit`` keeps the **newest** N matches.
+        """
+        if level is not None and level not in _LEVEL_RANK:
+            raise ConfigError(f"oplog level must be one of {LEVELS}, "
+                              f"got {level!r}")
+        floor = _LEVEL_RANK[level] if level is not None else 0
+        out = []
+        for doc in self._ring:
+            if doc["seq"] <= since_seq:
+                continue
+            if _LEVEL_RANK[doc["level"]] < floor:
+                continue
+            if event is not None and doc["event"] != event \
+                    and not doc["event"].startswith(event + "."):
+                continue
+            out.append(doc)
+        if limit is not None and limit >= 0:
+            out = out[max(0, len(out) - limit):]
+        return out
+
+    def close(self) -> None:
+        """Close the file sink (the ring stays readable)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+# -- process-global instance ------------------------------------------------
+
+_GLOBAL = OpLog()
+
+
+def get() -> OpLog:
+    """The process-wide log (always present; ring-only by default)."""
+    return _GLOBAL
+
+
+def configure(*, path: str | None = None, cap: int | None = None) -> OpLog:
+    """Replace the global log (new sink file and/or capacity).
+
+    The CLI's ``--log-json PATH`` lands here.  Previously retained
+    events are dropped; the old sink is closed.
+    """
+    global _GLOBAL
+    _GLOBAL.close()
+    _GLOBAL = OpLog(cap=cap or _GLOBAL.cap, path=path)
+    return _GLOBAL
+
+
+def reset() -> None:
+    """Back to the default ring-only log (tests, fresh CLI runs)."""
+    global _GLOBAL
+    _GLOBAL.close()
+    _GLOBAL = OpLog()
+
+
+def log(event: str, level: str = "info",
+        **fields: _t.Any) -> dict[str, _t.Any]:
+    """Emit one event on the global log (module-level convenience)."""
+    return _GLOBAL.emit(event, level, **fields)
+
+
+@contextlib.contextmanager
+def context(**fields: _t.Any) -> _t.Iterator[None]:
+    """Push correlation fields for the dynamic extent of the block.
+
+    Nested scopes accumulate; ``asyncio`` tasks created inside the
+    block inherit the fields (contextvars semantics).
+    """
+    flat: list = []
+    for kv in fields.items():
+        flat.extend(kv)
+    token = _CTX.set(_CTX.get() + tuple(flat))
+    try:
+        yield
+    finally:
+        _CTX.reset(token)
+
+
+def current_context() -> dict[str, _t.Any]:
+    """The correlation fields active in this context (outermost first)."""
+    ctx = _CTX.get()
+    return {ctx[i]: ctx[i + 1] for i in range(0, len(ctx), 2)}

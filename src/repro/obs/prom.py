@@ -1,0 +1,332 @@
+"""Prometheus text exposition: render, parse, validate (stdlib only).
+
+The experiment server's ``GET /metrics`` grew up serving a JSON
+document; this module adds the standard text exposition format
+(version 0.0.4) alongside it, so any off-the-shelf Prometheus scraper
+can pull the service plane without an adapter.
+
+* :func:`render` — a :class:`~repro.obs.metrics.MetricsRegistry` (plus
+  optional plain counter dicts) to exposition text.  Histograms are
+  converted from the registry's per-bucket counts to the cumulative
+  ``le`` buckets Prometheus requires; series are emitted in sorted
+  order so the output is byte-stable for a given registry state.
+* :func:`parse` — a deliberately *strict* parser used by the test
+  suite and the CI scrape-validation step: malformed names, labels,
+  escapes, or values raise :class:`PromParseError` rather than being
+  skipped.  No external dependency — the point is that CI can verify
+  our exposition without installing a Prometheus client.
+* :func:`validate` — structural checks on parsed output: every
+  histogram's buckets must be cumulative/monotone, end in ``+Inf``,
+  and agree with ``_count``.
+
+Metric names are sanitised ``subsystem.quantity`` →
+``repro_subsystem_quantity``; label values are escaped per the
+exposition spec (backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render", "parse", "validate", "PromParseError", "Sample"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Default metric-name prefix for everything this repository exports.
+PREFIX = "repro_"
+
+
+class PromParseError(ValueError):
+    """The text is not valid Prometheus exposition format."""
+
+
+class Sample(_t.NamedTuple):
+    """One parsed sample line."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+
+# -- rendering ---------------------------------------------------------------
+
+def metric_name(name: str, *, prefix: str = PREFIX) -> str:
+    """``serve.points_total`` -> ``repro_serve_points_total``."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not _NAME_RE.match(prefix + sanitized):
+        raise PromParseError(f"cannot form a metric name from {name!r}")
+    return prefix + sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r"\""))
+
+
+def _labels_text(labels: _t.Sequence[tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{escape_label_value(str(v))}"'
+                     for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _num(value: _t.Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        # repr keeps full precision and round-trips through float().
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    raise PromParseError(f"non-numeric sample value {value!r}")
+
+
+def _bound_text(bound: float | int) -> str:
+    return repr(bound) if isinstance(bound, float) else str(bound)
+
+
+def render(registry: MetricsRegistry | None = None, *,
+           extra_counters: _t.Mapping[str, _t.Any] | None = None,
+           extra_gauges: _t.Mapping[str, _t.Any] | None = None,
+           prefix: str = PREFIX) -> str:
+    """Registry (+ plain dicts) -> Prometheus exposition text.
+
+    ``extra_counters`` / ``extra_gauges`` map bare metric names (dots
+    allowed) to numeric values — the server's hand-rolled ``stats``
+    dict rides in this way without registering metric objects.
+    Output is sorted by (metric name, labels) and ends with a newline.
+    """
+    # Group series by exposition name so each gets exactly one # TYPE.
+    groups: dict[str, tuple[str, list]] = {}
+
+    def _add(name: str, kind: str, labels, value) -> None:
+        entry = groups.setdefault(name, (kind, []))
+        if entry[0] != kind:
+            raise PromParseError(
+                f"metric {name} rendered as both {entry[0]} and {kind}")
+        entry[1].append((tuple(labels), value))
+
+    if registry is not None:
+        for name, labels, metric in registry.items():
+            pname = metric_name(name, prefix=prefix)
+            if isinstance(metric, Counter):
+                _add(pname, "counter", labels, metric.value)
+            elif isinstance(metric, Gauge):
+                value = metric.value
+                if not isinstance(value, (int, float)):
+                    continue  # non-numeric gauges are JSON-only
+                _add(pname, "gauge", labels, value)
+            elif isinstance(metric, Histogram):
+                _add(pname, "histogram", labels, metric)
+    for mapping, kind in ((extra_counters, "counter"),
+                          (extra_gauges, "gauge")):
+        for name, value in (mapping or {}).items():
+            if isinstance(value, (int, float)):
+                _add(metric_name(name, prefix=prefix), kind, (), value)
+
+    lines: list[str] = []
+    for pname in sorted(groups):
+        kind, series = groups[pname]
+        lines.append(f"# TYPE {pname} {kind}")
+        for labels, value in sorted(series):
+            if kind == "histogram":
+                hist: Histogram = value
+                running = 0
+                for i, bound in enumerate(hist.bounds):
+                    running += hist.bucket_counts[i]
+                    le = (("le", _bound_text(bound)),)
+                    lines.append(f"{pname}_bucket"
+                                 f"{_labels_text(labels + le)} {running}")
+                running += hist.bucket_counts[-1]
+                inf = (("le", "+Inf"),)
+                lines.append(f"{pname}_bucket"
+                             f"{_labels_text(labels + inf)} {running}")
+                lines.append(f"{pname}_sum{_labels_text(labels)} "
+                             f"{_num(hist.total)}")
+                lines.append(f"{pname}_count{_labels_text(labels)} "
+                             f"{hist.count}")
+            else:
+                lines.append(f"{pname}{_labels_text(labels)} {_num(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- parsing -----------------------------------------------------------------
+
+def _parse_labels(text: str, lineno: int) -> tuple[tuple[str, str], ...]:
+    """``name="value",...`` (inside the braces) -> sorted label tuple."""
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.find("=", i)
+        if eq < 0:
+            raise PromParseError(f"line {lineno}: malformed labels "
+                                 f"{text!r}")
+        lname = text[i:eq].strip()
+        if not _LABEL_RE.match(lname):
+            raise PromParseError(f"line {lineno}: bad label name "
+                                 f"{lname!r}")
+        if eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise PromParseError(f"line {lineno}: label value must be "
+                                 f"double-quoted in {text!r}")
+        value_chars: list[str] = []
+        j = eq + 2
+        while True:
+            if j >= len(text):
+                raise PromParseError(f"line {lineno}: unterminated label "
+                                     f"value in {text!r}")
+            ch = text[j]
+            if ch == "\\":
+                if j + 1 >= len(text):
+                    raise PromParseError(f"line {lineno}: dangling escape")
+                esc = text[j + 1]
+                if esc == "n":
+                    value_chars.append("\n")
+                elif esc in ('"', "\\"):
+                    value_chars.append(esc)
+                else:
+                    raise PromParseError(
+                        f"line {lineno}: invalid escape \\{esc}")
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        labels.append((lname, "".join(value_chars)))
+        i = j + 1
+        if i < len(text):
+            if text[i] != ",":
+                raise PromParseError(f"line {lineno}: expected ',' "
+                                     f"between labels in {text!r}")
+            i += 1
+    return tuple(sorted(labels))
+
+
+def parse(text: str) -> tuple[list[Sample], dict[str, str]]:
+    """Strict exposition parse -> ``(samples, declared types)``.
+
+    Raises :class:`PromParseError` on any malformed line — unknown
+    comment directives, bad metric/label names, broken escapes,
+    non-float values, or a sample for a name whose ``# TYPE`` was
+    declared *after* it.
+    """
+    samples: list[Sample] = []
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                raise PromParseError(
+                    f"line {lineno}: unknown comment directive {line!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _TYPES:
+                    raise PromParseError(
+                        f"line {lineno}: bad TYPE line {line!r}")
+                if not _NAME_RE.match(parts[2]):
+                    raise PromParseError(
+                        f"line {lineno}: bad metric name {parts[2]!r}")
+                if parts[2] in types:
+                    raise PromParseError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]}")
+                types[parts[2]] = parts[3]
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise PromParseError(f"line {lineno}: unbalanced braces "
+                                     f"in {line!r}")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close], lineno)
+            rest = line[close + 1:].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = ()
+            rest = rest.strip()
+        if not _NAME_RE.match(name):
+            raise PromParseError(f"line {lineno}: bad metric name "
+                                 f"{name!r}")
+        fields = rest.split()
+        if len(fields) not in (1, 2):  # optional timestamp
+            raise PromParseError(f"line {lineno}: expected 'value "
+                                 f"[timestamp]', got {rest!r}")
+        try:
+            value = float(fields[0])
+        except ValueError:
+            raise PromParseError(f"line {lineno}: non-float value "
+                                 f"{fields[0]!r}")
+        samples.append(Sample(name, labels, value))
+    return samples, types
+
+
+def _base_name(name: str, types: _t.Mapping[str, str]) -> str:
+    """Histogram child series -> the declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[:-len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def validate(text: str) -> tuple[list[Sample], dict[str, str]]:
+    """Parse and structurally validate an exposition document.
+
+    Beyond :func:`parse`, asserts:
+
+    * every sample belongs to a declared ``# TYPE`` family;
+    * counter samples are finite and non-negative;
+    * each histogram series has monotonically non-decreasing buckets in
+      ascending ``le`` order, a terminal ``+Inf`` bucket, and a
+      ``_count`` equal to the ``+Inf`` bucket.
+
+    Returns the parsed ``(samples, types)`` on success.
+    """
+    samples, types = parse(text)
+    hist_buckets: dict[tuple, list[tuple[float, float]]] = {}
+    hist_counts: dict[tuple, float] = {}
+    for name, labels, value in samples:
+        family = _base_name(name, types)
+        if family not in types:
+            raise PromParseError(f"sample {name} has no # TYPE declaration")
+        kind = types[family]
+        if kind == "counter" and not value >= 0:
+            raise PromParseError(f"counter {name} is negative: {value}")
+        if kind == "histogram":
+            bare = tuple(lv for lv in labels if lv[0] != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    raise PromParseError(f"{name} bucket missing le label")
+                bound = float("inf") if le == "+Inf" else float(le)
+                hist_buckets.setdefault((family, bare), []).append(
+                    (bound, value))
+            elif name.endswith("_count"):
+                hist_counts[(family, bare)] = value
+    for key, buckets in hist_buckets.items():
+        family = key[0]
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            raise PromParseError(
+                f"{family} buckets not in ascending le order: {bounds}")
+        counts = [c for _, c in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise PromParseError(
+                f"{family} buckets are not cumulative/monotone: {counts}")
+        if bounds[-1] != float("inf"):
+            raise PromParseError(f"{family} lacks a terminal +Inf bucket")
+        declared = hist_counts.get(key)
+        if declared is not None and declared != counts[-1]:
+            raise PromParseError(
+                f"{family} _count {declared} != +Inf bucket {counts[-1]}")
+    return samples, types

@@ -1,0 +1,155 @@
+"""Per-request trace stitching: service phases + worker sim spans.
+
+One :class:`RequestTrace` accompanies a traced job (``"trace": true``
+in the submitted job document) through the experiment server.  It
+collects two kinds of material:
+
+* **request phases** — the server's own pipeline stages (``parse`` →
+  ``plan`` → ``simulate`` → ``stream``), recorded *by order*, not by
+  wall clock;
+* **point spans** — the simulation-time trace of every point the job
+  touched, shipped back from the worker process as
+  :meth:`~repro.obs.trace.SpanTracer.raw_events` tuples through
+  ``RunResult.meta["trace"]``.
+
+:meth:`to_chrome` exports one Perfetto document per request: a
+``request`` track of phase slices, one process group per point (its
+node threads preserved), and flow arrows from the ``simulate`` phase
+into each point's first span.
+
+**Determinism is the design constraint.**  The acceptance bar is a
+byte-identical document between ``--workers 1`` and ``--workers 2``,
+so nothing wall-clock may enter it: phase slices sit at *logical*
+timestamps (phase ``i`` spans ``[i, i+1)`` trace-microseconds), point
+spans keep their simulated-nanosecond timestamps, points are ordered
+by plan key, and flow ids are derived from point order.  Wall-clock
+durations still exist — they go to the oplog and the metrics
+histograms, which are allowed to differ between runs; the trace
+document is the deterministic artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from .trace import _SIM_PID
+
+__all__ = ["RequestTrace", "REQUEST_PID", "PHASES"]
+
+#: Synthetic pid of the request-phase track (sim tracks re-base onto
+#: :data:`POINT_PID_BASE` ``+ index``).
+REQUEST_PID = 1
+POINT_PID_BASE = 100
+
+#: Canonical phase order (phases actually recorded may be a subset —
+#: e.g. ``dedup_wait`` only appears when a point was joined in flight).
+PHASES = ("parse", "plan", "dedup_wait", "simulate", "stream")
+
+#: Flow-id namespace stride: arrows *within* point ``j`` keep their
+#: worker-assigned ids offset by ``(j + 1) * _FLOW_STRIDE``, leaving
+#: ids ``1..n_points`` for the request→point arrows.
+_FLOW_STRIDE = 10_000_000
+
+
+class RequestTrace:
+    """Accumulates one request's spans; exports a Perfetto document."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._phases: list[str] = []
+        self._points: dict[str, tuple] = {}
+
+    # -- recording -------------------------------------------------------
+    def phase(self, name: str) -> None:
+        """Mark that the request entered pipeline stage ``name``."""
+        self._phases.append(name)
+
+    def has_phase(self, name: str) -> bool:
+        return name in self._phases
+
+    def add_point(self, key: str, raw_events: _t.Sequence[tuple],
+                  *, worker_pid: int | None = None) -> None:
+        """Attach one simulated point's stored-tuple trace.
+
+        ``key`` is the plan key (export order); duplicate keys keep the
+        first trace (a point joined from another request's in-flight
+        simulation carries the same spans).  ``worker_pid`` is kept out
+        of the document — it is operational detail for the oplog.
+        """
+        if key not in self._points:
+            self._points[key] = tuple(raw_events)
+
+    @property
+    def n_points(self) -> int:
+        return len(self._points)
+
+    # -- export ----------------------------------------------------------
+    def to_chrome(self) -> dict[str, _t.Any]:
+        """The stitched Chrome ``trace_event`` document (deterministic)."""
+        events: list[dict[str, _t.Any]] = [
+            {"ph": "M", "pid": REQUEST_PID, "tid": 0,
+             "name": "process_name",
+             "args": {"name": f"request ({self.kind})"}},
+        ]
+        # Phase slices at logical timestamps: stage i covers [i, i+1).
+        simulate_ts: float | None = None
+        for i, name in enumerate(self._phases):
+            if name == "simulate":
+                simulate_ts = float(i)
+            events.append({"ph": "X", "cat": "serve", "name": name,
+                           "pid": REQUEST_PID, "tid": 0,
+                           "ts": float(i), "dur": 1.0})
+        point_keys = sorted(self._points)
+        for j, key in enumerate(point_keys):
+            pid = POINT_PID_BASE + j
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": f"point {key}"}})
+            raw = self._points[key]
+            first_ts: float | None = None
+            tids: set[int] = set()
+            for ph, cat, name, src_pid, tid, ts, dur, args in raw:
+                if src_pid != _SIM_PID:
+                    continue  # host spans are wall clock: excluded
+                tids.add(tid)
+                ev: dict[str, _t.Any] = {"ph": ph, "cat": cat,
+                                         "name": name, "pid": pid,
+                                         "tid": tid, "ts": ts / 1e3}
+                if ph == "X":
+                    ev["dur"] = dur / 1e3
+                    if first_ts is None or ev["ts"] < first_ts:
+                        first_ts = ev["ts"]
+                elif ph in ("s", "f"):
+                    ev["id"] = (j + 1) * _FLOW_STRIDE + dur
+                    if ph == "f":
+                        ev["bp"] = "e"
+                else:
+                    ev["s"] = "t"
+                if args is not None:
+                    ev["args"] = dict(zip(args[::2], args[1::2]))
+                events.append(ev)
+            for tid in sorted(tids):
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": f"node {tid}"}})
+            # Arrow: request "simulate" slice -> the point's first span.
+            if simulate_ts is not None and first_ts is not None:
+                events.append({"ph": "s", "cat": "serve.flow",
+                               "name": "dispatch", "pid": REQUEST_PID,
+                               "tid": 0, "ts": simulate_ts + 0.5,
+                               "id": j + 1})
+                events.append({"ph": "f", "cat": "serve.flow",
+                               "name": "dispatch", "pid": pid, "tid": 0,
+                               "ts": first_ts, "id": j + 1, "bp": "e"})
+        return {"traceEvents": events,
+                "displayTimeUnit": "ns",
+                "otherData": {"generator": "repro.obs.reqtrace",
+                              "kind": self.kind,
+                              "points": point_keys}}
+
+    def to_json(self) -> str:
+        """Canonical serialization (sorted keys, compact separators) —
+        the byte-determinism acceptance test compares these strings."""
+        return json.dumps(self.to_chrome(), sort_keys=True,
+                          separators=(",", ":"))

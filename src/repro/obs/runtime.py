@@ -26,9 +26,11 @@ are not merged back.  Serial runs (the default) see everything.
 
 from __future__ import annotations
 
+import contextlib
 import typing as _t
 
 from ..errors import ConfigError
+from . import oplog as _oplog
 from .metrics import DELIVERY_LATENCY_BOUNDS, HOST, MetricsRegistry
 from .trace import TRACE_CATEGORIES, SpanTracer
 
@@ -37,9 +39,9 @@ if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["configure", "disable", "metrics_enabled", "critpath_enabled",
            "det_check_enabled",
-           "registry", "tracer", "write_trace", "harvest_machine",
-           "harvest_points", "harvest_sweep_stats", "record_phase_seconds",
-           "parse_categories"]
+           "registry", "tracer", "scoped_tracer", "write_trace",
+           "harvest_machine", "harvest_points", "harvest_sweep_stats",
+           "record_phase_seconds", "parse_categories"]
 
 #: Sweep-point wall-time bounds in seconds.
 POINT_WALL_BOUNDS = (0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
@@ -132,13 +134,15 @@ def configure(*, metrics: bool | None = None,
 
 
 def disable() -> None:
-    """Reset to the zero-telemetry default (fresh registry, no tracer)."""
+    """Reset to the zero-telemetry default (fresh registry, no tracer,
+    ring-only oplog)."""
     _STATE.metrics_on = False
     _STATE.registry = MetricsRegistry()
     _STATE.tracer = None
     _STATE.trace_path = None
     _STATE.critpath_on = False
     _STATE.det_check_on = False
+    _oplog.reset()
 
 
 def metrics_enabled() -> bool:
@@ -164,6 +168,27 @@ def registry() -> MetricsRegistry:
 def tracer() -> SpanTracer | None:
     """The active tracer, or ``None`` when tracing is off."""
     return _STATE.tracer
+
+
+@contextlib.contextmanager
+def scoped_tracer(tr: SpanTracer) -> _t.Iterator[SpanTracer]:
+    """Install ``tr`` as the active tracer for the duration of a block.
+
+    Used by sweep workers to trace *one* simulation without flipping
+    process-wide telemetry on: the previous tracer (usually ``None``)
+    and the metrics flag are restored on exit, so pooled worker
+    processes carry no trace state between points.  Machines capture
+    the active tracer at build time, so the machine must be built
+    inside the block.
+    """
+    prev_tracer = _STATE.tracer
+    prev_metrics = _STATE.metrics_on
+    _STATE.tracer = tr
+    try:
+        yield tr
+    finally:
+        _STATE.tracer = prev_tracer
+        _STATE.metrics_on = prev_metrics
 
 
 def write_trace(path: str | None = None) -> tuple[str, int]:

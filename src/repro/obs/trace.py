@@ -204,6 +204,18 @@ class SpanTracer:
             return list(self._events)
         return self._events[self._next:] + self._events[:self._next]
 
+    def raw_events(self) -> list[_Stored]:
+        """Retained stored tuples ``(ph, cat, name, pid, tid, ts, dur,
+        args)`` in record order.
+
+        The compact wire form: sweep workers ship their point-scoped
+        trace back to the parent through ``RunResult.meta["trace"]`` as
+        these tuples (picklable, no dict inflation) and the request
+        stitcher (:mod:`repro.obs.reqtrace`) re-bases them into the
+        combined per-request document.
+        """
+        return self._raw()
+
     def events(self) -> list[dict[str, _t.Any]]:
         """Retained events rendered as Chrome trace-event dicts."""
         out = []

@@ -28,7 +28,9 @@ from dataclasses import dataclass, field, replace
 from ..core.experiment import ExperimentConfig, run_experiment
 from ..core.results import ComparisonResult, RunResult
 from ..errors import ConfigError
+from ..obs import oplog as _oplog
 from ..obs import runtime as _obs
+from ..obs.trace import SpanTracer
 from .cache import MISS, ResultCache
 
 __all__ = ["PointError", "PointTiming", "SweepStats", "SweepExecutor",
@@ -45,14 +47,29 @@ def _is_quiet(pattern: str) -> bool:
     return pattern.strip().lower() in _QUIET_ALIASES
 
 
-def _run_point(config: ExperimentConfig,
-               det_check: bool = False) -> tuple[RunResult, float, float]:
+#: Categories captured for a traced point (sim-time only — the
+#: per-event ``sim`` firehose and host spans stay out) and the per-point
+#: ring cap.  Small enough that a traced request stays cheap; the
+#: request stitcher surfaces ``dropped`` if a simulation outgrows it.
+POINT_TRACE_CATEGORIES = ("net", "net.flow", "mpi", "faults")
+POINT_TRACE_CAP = 50_000
+
+
+def _run_point(config: ExperimentConfig, det_check: bool = False,
+               trace: bool = False) -> tuple[RunResult, float, float]:
     """Worker entry point: one simulation, with true start/end stamps.
 
     Top-level so it pickles into pool workers.  ``det_check`` forwards
     the parent's ``obs.configure(det_check=True)`` switch explicitly:
     per-process obs state is inherited under fork but not spawn, and
     the serial/workers checksum comparison needs both paths to agree.
+
+    ``trace`` captures this one simulation's sim-time spans with a
+    point-scoped tracer (process-wide telemetry is restored on exit,
+    so pooled workers carry no state between points) and ships them
+    back as ``result.meta["trace"]`` stored tuples plus
+    ``meta["worker_pid"]``; the server stitches them into the
+    per-request Perfetto document and strips both keys before caching.
 
     Returns ``(result, start, end)`` where the timestamps are absolute
     ``time.perf_counter()`` readings.  ``perf_counter`` is
@@ -66,7 +83,16 @@ def _run_point(config: ExperimentConfig,
     if det_check and not _obs.det_check_enabled():
         _obs.configure(det_check=True)
     t0 = time.perf_counter()
-    result = _t.cast(RunResult, run_experiment(config))
+    if trace:
+        point_tracer = SpanTracer(POINT_TRACE_CATEGORIES,
+                                  cap=POINT_TRACE_CAP)
+        with _obs.scoped_tracer(point_tracer):
+            result = _t.cast(RunResult, run_experiment(config))
+        result.meta["trace"] = point_tracer.raw_events()
+        result.meta["trace_dropped"] = point_tracer.dropped
+        result.meta["worker_pid"] = os.getpid()
+    else:
+        result = _t.cast(RunResult, run_experiment(config))
     return result, t0, time.perf_counter()
 
 
@@ -217,6 +243,13 @@ class SweepExecutor:
         self.last_errors: dict[_t.Any, PointError] = {}
 
     # -- persistent pool ---------------------------------------------------
+    @property
+    def pool_ready(self) -> bool:
+        """True once the persistent pool exists (the server's readiness
+        signal: liveness holds from bind time, readiness from
+        :meth:`warm`)."""
+        return self._pool is not None
+
     def ensure_pool(self) -> ProcessPoolExecutor:
         """The long-lived pool (created on first use; ``persistent``
         executors only)."""
@@ -235,17 +268,19 @@ class SweepExecutor:
         fut = self.ensure_pool().submit(int, 0)
         fut.result()
 
-    def submit_config(self, config: ExperimentConfig
-                      ) -> "_t.Any":
+    def submit_config(self, config: ExperimentConfig, *,
+                      trace: bool = False) -> "_t.Any":
         """Submit one simulation to the persistent pool.
 
         Returns the :class:`concurrent.futures.Future` resolving to
         ``(RunResult, start, end)`` — the async seam the experiment
         server bridges with :func:`asyncio.wrap_future`.  No cache
         interaction happens here; callers own lookup and store.
+        ``trace=True`` captures the point's sim-time spans in the
+        worker (see :func:`_run_point`).
         """
         return self.ensure_pool().submit(_run_point, config,
-                                         _obs.det_check_enabled())
+                                         _obs.det_check_enabled(), trace)
 
     def close(self) -> None:
         """Shut the persistent pool down (idempotent)."""
@@ -321,12 +356,21 @@ class SweepExecutor:
         if tracer is not None and not tracer.enabled("sweep"):
             tracer = None
 
+        _oplog.log("exec.fanout", points=len(configs),
+                   cached=len(served), pending=len(pending),
+                   workers=self.workers)
+
         def record(key: _t.Any, result: RunResult,
                    start: float, end: float) -> None:
             elapsed = end - start
             served[key] = result
             timings[key] = PointTiming(labels.get(key, str(key)),
                                        elapsed, cached=False)
+            meta = getattr(result, "meta", None) or {}
+            _oplog.log("exec.point", level="debug",
+                       point=labels.get(key, str(key)),
+                       elapsed_s=round(elapsed, 6),
+                       worker_pid=meta.get("worker_pid"))
             if tracer is not None:
                 # True worker-side start/end stamps: pooled futures are
                 # collected in plan order, so "collection time minus
@@ -363,11 +407,15 @@ class SweepExecutor:
             if progress:
                 progress(f"{label} failed "
                          f"({type(first_exc).__name__}); retrying serially")
+            _oplog.log("exec.point_retry", level="warning", point=label,
+                       error=type(first_exc).__name__)
             try:
                 result, t0, t1 = _run_point(pending[key], det_check)
             except Exception as exc:
                 errors[key] = PointError(label, type(exc).__name__,
                                          str(exc), retried=True)
+                _oplog.log("exec.point_error", level="error", point=label,
+                           error=type(exc).__name__, message=str(exc))
                 if progress:
                     progress(f"{label} failed permanently: {exc}")
                 continue

@@ -50,11 +50,38 @@ class ServeClient:
         finally:
             conn.close()
 
-    def health(self) -> dict[str, _t.Any]:
-        return self._get_json("/healthz")
+    def health(self, *, ready: bool = False) -> dict[str, _t.Any]:
+        return self._get_json("/healthz?ready=1" if ready else "/healthz")
 
-    def metrics(self) -> dict[str, _t.Any]:
-        return self._get_json("/metrics")
+    def metrics(self, *, window: float | None = None) -> dict[str, _t.Any]:
+        path = "/metrics"
+        if window is not None:
+            path += f"?window={window:g}"
+        return self._get_json(path)
+
+    def metrics_text(self) -> str:
+        """``/metrics`` in Prometheus text exposition format."""
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics?format=prom")
+            resp = conn.getresponse()
+            body = resp.read().decode()
+            if resp.status != 200:
+                raise ServeError(f"GET /metrics?format=prom -> "
+                                 f"{resp.status}: {body[:200]}")
+            return body
+        finally:
+            conn.close()
+
+    def logs(self, *, level: str | None = None, event: str | None = None,
+             since: int = 0, limit: int = 200) -> dict[str, _t.Any]:
+        """The server's operational log ring (``GET /v1/logs``)."""
+        params = [f"since={since}", f"limit={limit}"]
+        if level:
+            params.append(f"level={level}")
+        if event:
+            params.append(f"event={event}")
+        return self._get_json("/v1/logs?" + "&".join(params))
 
     def submit(self, job: dict[str, _t.Any]
                ) -> _t.Iterator[dict[str, _t.Any]]:

@@ -22,6 +22,8 @@ from __future__ import annotations
 import asyncio
 import typing as _t
 
+from ..obs import oplog as _oplog
+
 __all__ = ["InflightRegistry"]
 
 
@@ -42,6 +44,10 @@ class InflightRegistry:
         task = self._tasks.get(key)
         if task is not None:
             self.joined += 1
+            # The joiner's request context: the subscriber's request_id,
+            # not the owner's, identifies who waited on the dedup.
+            _oplog.log("inflight.join", level="debug", point_key=key,
+                       inflight=len(self._tasks))
         return task
 
     def register(self, key: str,
@@ -55,6 +61,8 @@ class InflightRegistry:
         task = asyncio.get_running_loop().create_task(factory())
         self._tasks[key] = task
         self.registered += 1
+        _oplog.log("inflight.register", level="debug", point_key=key,
+                   inflight=len(self._tasks))
 
         def _retire(t: asyncio.Task) -> None:
             if self._tasks.get(key) is t:

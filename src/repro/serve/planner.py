@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..core import ExperimentConfig
 from ..core.results import ComparisonResult, RunResult
 from ..errors import ConfigError
+from ..obs import oplog as _oplog
 from ..parallel.executor import _is_quiet, normalized_quiet_twin
 
 __all__ = ["Job", "parse_job", "PointPlan"]
@@ -37,7 +38,7 @@ _CONFIG_FIELDS = ("app", "kernel", "network", "alignment", "seed",
                   "app_params", "observer", "critical_path")
 
 _JOB_KEYS = frozenset(_CONFIG_FIELDS) | {
-    "kind", "nodes", "pattern", "patterns", "collectives"}
+    "kind", "nodes", "pattern", "patterns", "collectives", "trace"}
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,11 @@ class Job:
     patterns: tuple[str, ...]
     base: ExperimentConfig
     raw: dict[str, _t.Any] = field(default_factory=dict, compare=False)
+    #: Request end-to-end tracing: workers capture each point's
+    #: sim-time spans and the server streams one stitched Perfetto
+    #: document as a terminal ``trace`` event (see
+    #: :mod:`repro.obs.reqtrace`).
+    trace: bool = False
 
     # -- expansion ---------------------------------------------------------
     def points(self) -> list[PointPlan]:
@@ -212,5 +218,9 @@ def parse_job(doc: _t.Any) -> Job:
         ExperimentConfig(**{**kwargs, "noise_pattern": pattern}
                          ).injected_utilization()
     base.fault_plan()
-    return Job(kind=kind, nodes=tuple(nodes), patterns=tuple(patterns),
-               base=base, raw=dict(doc))
+    trace = bool(_expect(doc, "trace", (bool,), False))
+    job = Job(kind=kind, nodes=tuple(nodes), patterns=tuple(patterns),
+              base=base, raw=dict(doc), trace=trace)
+    _oplog.log("job.parsed", kind=kind, nodes=list(job.nodes),
+               patterns=list(job.patterns), trace=trace)
+    return job

@@ -37,7 +37,8 @@ import typing as _t
 from ..errors import ReproError
 
 __all__ = ["Request", "ProtocolError", "read_request", "read_chunked_lines",
-           "write_json_response", "ChunkedWriter", "encode_event"]
+           "write_json_response", "write_text_response", "split_query",
+           "ChunkedWriter", "encode_event"]
 
 #: Hard ceilings so a malformed or hostile peer cannot balloon memory.
 MAX_HEAD_BYTES = 16 * 1024
@@ -45,7 +46,10 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ProtocolError(ReproError):
@@ -117,6 +121,35 @@ def write_json_response(writer: asyncio.StreamWriter, status: int,
     writer.write(_head(status, "application/json",
                        [("Content-Length", str(len(body)))])
                  + b"\r\n" + body)
+
+
+def write_text_response(writer: asyncio.StreamWriter, status: int,
+                        text: str, *,
+                        content_type: str = PROMETHEUS_CONTENT_TYPE) -> None:
+    """One complete plain-text response (the ``/metrics`` Prometheus
+    form)."""
+    body = text.encode()
+    writer.write(_head(status, content_type,
+                       [("Content-Length", str(len(body)))])
+                 + b"\r\n" + body)
+
+
+def split_query(path: str) -> tuple[str, dict[str, str]]:
+    """``/metrics?window=30&format=prom`` -> ``("/metrics",
+    {"window": "30", "format": "prom"})``.
+
+    Just enough query parsing for this API: ``&``-separated ``k=v``
+    pairs, no percent-decoding (none of our parameters need it), last
+    duplicate wins, bare keys map to ``""``.
+    """
+    path, _, query = path.partition("?")
+    params: dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        params[key] = value
+    return path, params
 
 
 def encode_event(doc: dict[str, _t.Any]) -> bytes:

@@ -1,0 +1,141 @@
+"""``repro top`` — a live terminal dashboard for the experiment server.
+
+Polls ``GET /metrics?window=N`` (rolling rates from the server's
+snapshot ring) and ``GET /v1/logs?level=warning`` (recent problems,
+with request ids), and redraws a compact text frame every interval —
+the service-plane analogue of watching ``top`` on a noisy node.  Pure
+stdlib; rendering is split from polling so tests can feed canned
+documents through :func:`render_frame`.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+
+from .client import ServeClient
+
+__all__ = ["render_frame", "run_top"]
+
+#: ANSI "clear screen + home" (suppressed when not writing to a tty).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_rate(value: _t.Any, unit: str = "/s") -> str:
+    if value is None:
+        return "--"
+    return f"{value:.1f}{unit}"
+
+
+def _fmt_pct(value: _t.Any) -> str:
+    return "--" if value is None else f"{100 * value:.1f}%"
+
+
+def _fmt_secs(value: _t.Any) -> str:
+    if value is None:
+        return "--"
+    return f"{1000 * value:.0f}ms" if value < 1 else f"{value:.2f}s"
+
+
+def _bar(frac: float, width: int = 20) -> str:
+    frac = min(max(frac, 0.0), 1.0)
+    filled = round(frac * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_frame(metrics: dict[str, _t.Any],
+                 logs: dict[str, _t.Any] | None = None,
+                 *, address: str = "") -> str:
+    """One dashboard frame from a ``/metrics?window=N`` document and an
+    optional ``/v1/logs`` document."""
+    serve = metrics.get("serve", {})
+    window = metrics.get("window", {})
+    lines = []
+    title = "repro top"
+    if address:
+        title += f" — {address}"
+    title += (f"  (v{metrics.get('version', '?')}, "
+              f"{serve.get('workers', '?')} workers)")
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    lines.append(
+        f"rates ({window.get('window_s', 0)}s): "
+        f"req {_fmt_rate(window.get('req_per_s'))}  "
+        f"points {_fmt_rate(window.get('points_per_s'))}  "
+        f"hit {_fmt_pct(window.get('hit_rate'))}  "
+        f"err {_fmt_pct(window.get('error_rate'))}")
+    lines.append(
+        f"latency: p50 {_fmt_secs(window.get('request_p50_s'))}  "
+        f"p99 {_fmt_secs(window.get('request_p99_s'))}")
+
+    total = serve.get("points_total", 0)
+    hits = serve.get("points_cached", 0) + serve.get("points_deduped", 0)
+    lines.append(
+        f"totals: {serve.get('requests_total', 0)} requests "
+        f"({serve.get('requests_failed', 0)} failed), "
+        f"{total} points "
+        f"({serve.get('points_simulated', 0)} simulated, "
+        f"{serve.get('points_cached', 0)} cached, "
+        f"{serve.get('points_deduped', 0)} deduped, "
+        f"{serve.get('point_errors', 0)} errors)")
+    lines.append(
+        f"lifetime hit rate: {_fmt_pct(hits / total if total else None)}  "
+        f"inflight {serve.get('inflight', 0)}  "
+        f"active requests {serve.get('active_requests', 0)}")
+
+    workers = serve.get("workers") or 1
+    depth = serve.get("queue_depth", 0)
+    busy = min(depth, workers)
+    lines.append(
+        f"workers: [{_bar(busy / workers)}] {busy}/{workers} busy, "
+        f"queue {depth} (peak {serve.get('queue_depth_peak', 0)})")
+
+    cache = metrics.get("cache")
+    if cache:
+        lines.append(
+            f"cache: {cache.get('entries', 0)} entries, "
+            f"{cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses")
+
+    if logs and logs.get("events"):
+        lines.append("")
+        lines.append("recent problems:")
+        for doc in logs["events"][-5:]:
+            rid = doc.get("request_id", "-")
+            detail = doc.get("message") or doc.get("error") or ""
+            lines.append(f"  [{doc.get('level', '?'):7s}] "
+                         f"{doc.get('event', '?')} "
+                         f"request={rid} {detail}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def run_top(client: ServeClient, out: _t.TextIO, *,
+            window: float = 30.0, interval: float = 2.0,
+            iterations: int | None = None,
+            clear: bool = True) -> int:
+    """Poll-and-redraw loop; returns an exit code.
+
+    ``iterations=None`` runs until interrupted; tests (and ``repro top
+    --once``) bound it.  A server that disappears mid-loop ends the
+    loop with a message instead of a traceback.
+    """
+    n = 0
+    while iterations is None or n < iterations:
+        if n:
+            time.sleep(interval)
+        n += 1
+        try:
+            metrics = client.metrics(window=window)
+            logs = client.logs(level="warning", limit=5)
+        except (ConnectionError, OSError) as exc:
+            out.write(f"server unreachable: {exc}\n")
+            return 2
+        frame = render_frame(metrics, logs,
+                             address=f"{client.host}:{client.port}")
+        if clear:
+            out.write(_CLEAR)
+        out.write(frame)
+        if hasattr(out, "flush"):
+            out.flush()
+    return 0

@@ -255,3 +255,88 @@ def test_harvest_populates_sim_metrics():
     # finalize_telemetry is idempotent: a second call must not double.
     machine.finalize_telemetry()
     assert obs.registry().snapshot(sim_only=True)["sim.runs"] == 1
+
+
+def test_configure_toggles_on_off_on_across_runs():
+    """The switchboard must be re-entrant within one process: each
+    flag (metrics, trace, det_check, critical_path) flips on, off, and
+    on again across real runs without stale state leaking through."""
+    from repro.core import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(app="bsp", nodes=2, noise_pattern="quiet",
+                           app_params={"work_ns": 500_000,
+                                       "iterations": 5})
+
+    # metrics: on -> fed; off -> untouched; on -> fed again (fresh).
+    obs.configure(metrics=True)
+    run_experiment(cfg)
+    assert obs.registry().snapshot()["sim.runs"] == 1
+    obs.disable()
+    run_experiment(cfg)
+    assert "sim.runs" not in obs.registry().snapshot()
+    obs.configure(metrics=True)
+    run_experiment(cfg)
+    assert obs.registry().snapshot()["sim.runs"] == 1
+    obs.disable()
+
+    # det_check rides RunResult.meta.
+    obs.configure(det_check=True)
+    assert "det_check" in run_experiment(cfg).meta
+    obs.configure(det_check=False)
+    assert "det_check" not in run_experiment(cfg).meta
+    obs.configure(det_check=True)
+    assert "det_check" in run_experiment(cfg).meta
+    obs.disable()
+
+    # critical_path: the process-wide switch arms edge recording on
+    # every machine built while it is on (machines capture it at
+    # build time, like the tracer).
+    for expected in (True, False, True):
+        obs.configure(critical_path=expected)
+        machine = Machine(MachineConfig(n_nodes=2, seed=0))
+        assert (machine.critpath is not None) is expected
+    obs.disable()
+
+    # trace: machines capture the tracer at build time, so toggling
+    # must swap what subsequent runs record without a restart.
+    obs.configure(trace=True, trace_categories=["mpi"])
+    run_experiment(cfg)
+    first = len(obs.tracer().events())
+    assert first > 0
+    obs.configure(trace=False)
+    assert obs.tracer() is None
+    run_experiment(cfg)  # no tracer to feed: must not crash
+    obs.configure(trace=True, trace_categories=["mpi"])
+    run_experiment(cfg)
+    assert len(obs.tracer().events()) == first  # fresh ring
+    obs.disable()
+
+
+def test_registry_snapshot_and_render_key_order_is_stable():
+    """Snapshot/render keys sort by (name, labels) regardless of
+    creation order — scrape diffs must not churn."""
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("z.total", op="b").inc(1)
+    a.counter("z.total", op="a").inc(2)
+    a.counter("a.total").inc(3)
+    b.counter("a.total").inc(3)
+    b.counter("z.total", op="a").inc(2)
+    b.counter("z.total", op="b").inc(1)
+    assert list(a.snapshot()) == list(b.snapshot()) == \
+        ["a.total", "z.total{op=a}", "z.total{op=b}"]
+    assert a.render() == b.render()
+
+
+def test_registry_labels_with_awkward_values_render_and_escape():
+    """Label values with spaces/quotes/newlines survive the plain
+    render and are escaped (and round-trip) in Prometheus exposition."""
+    from repro.obs import prom
+
+    reg = MetricsRegistry()
+    nasty = 'P=4 "quoted"\npattern'
+    reg.counter("serve.points_total", HOST, label=nasty).inc(1)
+    assert f"serve.points_total{{label={nasty}}}: 1" in reg.render()
+    text = prom.render(reg)
+    assert "\\n" in text and '\\"' in text
+    samples, _types = prom.validate(text)
+    assert dict(samples[0].labels)["label"] == nasty

@@ -1,0 +1,146 @@
+"""Tests for the structured operation log (:mod:`repro.obs.oplog`)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import oplog
+
+
+@pytest.fixture(autouse=True)
+def _fresh_oplog():
+    oplog.reset()
+    yield
+    oplog.reset()
+
+
+# -- ring semantics ---------------------------------------------------------
+
+def test_emit_stamps_sequence_level_and_event():
+    log = oplog.OpLog()
+    a = log.emit("request.start", route="jobs")
+    b = log.emit("request.end", level="debug", status=200)
+    assert a["seq"] == 1 and b["seq"] == 2
+    assert a["level"] == "info" and b["level"] == "debug"
+    assert a["event"] == "request.start" and a["route"] == "jobs"
+    assert isinstance(a["ts"], float)
+
+
+def test_ring_caps_and_counts_drops():
+    log = oplog.OpLog(cap=3)
+    for i in range(5):
+        log.emit("e", i=i)
+    assert len(log) == 3
+    assert log.total == 5 and log.dropped == 2
+    assert [d["i"] for d in log.events()] == [2, 3, 4]
+    # seq keeps climbing across drops: total order survives eviction.
+    assert [d["seq"] for d in log.events()] == [3, 4, 5]
+
+
+def test_bad_cap_and_bad_level_rejected():
+    with pytest.raises(ConfigError):
+        oplog.OpLog(cap=0)
+    log = oplog.OpLog()
+    with pytest.raises(ConfigError):
+        log.emit("e", level="fatal")
+    with pytest.raises(ConfigError):
+        log.events(level="loud")
+
+
+def test_events_level_is_a_floor():
+    log = oplog.OpLog()
+    log.emit("a", level="debug")
+    log.emit("b", level="info")
+    log.emit("c", level="warning")
+    log.emit("d", level="error")
+    assert [d["event"] for d in log.events(level="warning")] == ["c", "d"]
+    assert len(log.events(level="debug")) == 4
+
+
+def test_events_name_filter_exact_or_dotted_prefix():
+    log = oplog.OpLog()
+    log.emit("request.start")
+    log.emit("request.end")
+    log.emit("requests_other")  # prefix must respect the dot boundary
+    log.emit("job.start")
+    assert [d["event"] for d in log.events(event="request")] == \
+        ["request.start", "request.end"]
+    assert [d["event"] for d in log.events(event="request.end")] == \
+        ["request.end"]
+    assert log.events(event="requests") == []
+
+
+def test_events_since_seq_and_newest_limit():
+    log = oplog.OpLog()
+    for i in range(10):
+        log.emit("e", i=i)
+    tail = log.events(since_seq=7)
+    assert [d["i"] for d in tail] == [7, 8, 9]
+    newest = log.events(limit=2)
+    assert [d["i"] for d in newest] == [8, 9]
+
+
+# -- correlation context ----------------------------------------------------
+
+def test_context_fields_merge_and_nest():
+    log = oplog.OpLog()
+    with oplog.context(request_id="r-000001"):
+        with oplog.context(job_id="j-000001"):
+            doc = log.emit("job.start")
+    assert doc["request_id"] == "r-000001"
+    assert doc["job_id"] == "j-000001"
+    assert oplog.current_context() == {}  # scopes unwound
+
+
+def test_explicit_field_wins_over_context():
+    log = oplog.OpLog()
+    with oplog.context(request_id="r-000001"):
+        doc = log.emit("e", request_id="r-override")
+    assert doc["request_id"] == "r-override"
+
+
+def test_asyncio_tasks_inherit_the_enclosing_context():
+    log = oplog.OpLog()
+
+    async def worker():
+        return log.emit("point.done")
+
+    async def main():
+        with oplog.context(request_id="r-000007"):
+            task = asyncio.ensure_future(worker())
+        # The context block has exited by the time the task runs; the
+        # task still carries the ids it was created under.
+        return await task
+
+    doc = asyncio.run(main())
+    assert doc["request_id"] == "r-000007"
+
+
+# -- file sink & global plumbing --------------------------------------------
+
+def test_file_sink_appends_ndjson(tmp_path):
+    path = tmp_path / "oplog.ndjson"
+    log = oplog.OpLog(path=str(path))
+    with oplog.context(request_id="r-000001"):
+        log.emit("request.start", route="jobs")
+    log.emit("request.end")
+    log.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    docs = [json.loads(line) for line in lines]
+    assert docs[0]["request_id"] == "r-000001"
+    assert docs[1]["event"] == "request.end"
+
+
+def test_configure_swaps_the_global_log(tmp_path):
+    path = tmp_path / "cli.ndjson"
+    oplog.log("before")  # lands in the default ring only
+    replaced = oplog.configure(path=str(path), cap=16)
+    assert oplog.get() is replaced and replaced.cap == 16
+    oplog.log("after", request_id="r-000001")
+    assert [d["event"] for d in oplog.get().events()] == ["after"]
+    assert json.loads(path.read_text())["event"] == "after"
+    oplog.reset()
+    assert oplog.get().path is None

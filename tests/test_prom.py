@@ -1,0 +1,143 @@
+"""Tests for the Prometheus exposition layer (:mod:`repro.obs.prom`)."""
+
+import pytest
+
+from repro.obs import prom
+from repro.obs.metrics import HOST, MetricsRegistry
+from repro.obs.prom import PromParseError, Sample
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.points_total", HOST, outcome="simulated").inc(3)
+    reg.counter("serve.points_total", HOST, outcome="cached").inc(5)
+    reg.gauge("serve.queue_depth", HOST).set(2)
+    h = reg.histogram("serve.http_request_seconds", HOST,
+                      bounds=(0.1, 1.0), route="jobs")
+    for v in (0.05, 0.5, 0.5, 3.0):
+        h.observe(v)
+    return reg
+
+
+# -- rendering ---------------------------------------------------------------
+
+def test_metric_name_sanitizes_dots_and_rejects_garbage():
+    assert prom.metric_name("serve.points_total") == \
+        "repro_serve_points_total"
+    assert prom.metric_name("a-b c", prefix="x_") == "x_a_b_c"
+    with pytest.raises(PromParseError):
+        prom.metric_name("")
+
+
+def test_escape_label_value_round_trips_through_parse():
+    nasty = 'back\\slash "quote"\nnewline'
+    text = (f'# TYPE repro_x counter\n'
+            f'repro_x{{p="{prom.escape_label_value(nasty)}"}} 1\n')
+    samples, _types = prom.parse(text)
+    assert samples == [Sample("repro_x", (("p", nasty),), 1.0)]
+
+
+def test_render_counters_gauges_and_cumulative_histograms():
+    text = prom.render(_registry())
+    samples, types = prom.validate(text)
+    assert types["repro_serve_points_total"] == "counter"
+    assert types["repro_serve_queue_depth"] == "gauge"
+    assert types["repro_serve_http_request_seconds"] == "histogram"
+    by_name = {}
+    for s in samples:
+        by_name.setdefault(s.name, []).append(s)
+    # Registry buckets are per-bucket counts; exposition must be
+    # cumulative: 0.05 -> le=0.1, two 0.5s -> le=1.0, 3.0 -> +Inf.
+    buckets = [(dict(s.labels)["le"], s.value)
+               for s in by_name["repro_serve_http_request_seconds_bucket"]]
+    assert buckets == [("0.1", 1.0), ("1.0", 3.0), ("+Inf", 4.0)]
+    assert by_name["repro_serve_http_request_seconds_count"][0].value == 4.0
+    assert by_name["repro_serve_http_request_seconds_sum"][0].value == \
+        pytest.approx(4.05)
+    values = {tuple(s.labels): s.value
+              for s in by_name["repro_serve_points_total"]}
+    assert values[(("outcome", "simulated"),)] == 3.0
+    assert values[(("outcome", "cached"),)] == 5.0
+
+
+def test_render_is_byte_stable_and_sorted():
+    a = prom.render(_registry())
+    b = prom.render(_registry())
+    assert a == b
+    names = [line.split()[2] for line in a.splitlines()
+             if line.startswith("# TYPE")]
+    assert names == sorted(names)
+    assert a.endswith("\n")
+
+
+def test_render_extras_and_non_numeric_gauges():
+    reg = MetricsRegistry()
+    reg.gauge("serve.label", HOST).set("not-a-number")
+    text = prom.render(reg,
+                       extra_counters={"serve.requests_total": 7},
+                       extra_gauges={"serve.ready": True,
+                                     "serve.skipme": "nope"})
+    samples, types = prom.validate(text)
+    by_name = {s.name: s.value for s in samples}
+    assert by_name["repro_serve_requests_total"] == 7.0
+    assert by_name["repro_serve_ready"] == 1.0
+    assert "repro_serve_label" not in by_name  # non-numeric: JSON-only
+    assert "repro_serve_skipme" not in by_name
+    assert types["repro_serve_requests_total"] == "counter"
+
+
+def test_render_empty_registry_is_empty_string():
+    assert prom.render(MetricsRegistry()) == ""
+
+
+# -- strict parsing ----------------------------------------------------------
+
+def test_parse_rejects_malformed_documents():
+    bad = [
+        "# BOGUS directive here\n",
+        "# TYPE repro_x flavor\n",
+        "# TYPE bad-name counter\n",
+        "# TYPE repro_x counter\n# TYPE repro_x counter\n",
+        "bad-name 1\n",
+        "repro_x one\n",
+        "repro_x 1 2 3\n",
+        'repro_x{p="unterminated} 1\n',
+        'repro_x{p="bad\\q"} 1\n',
+        'repro_x{p="a" q="b"} 1\n',
+        "repro_x{9bad=\"v\"} 1\n",
+    ]
+    for text in bad:
+        with pytest.raises(PromParseError):
+            prom.parse(text)
+
+
+def test_parse_accepts_timestamps_and_blank_lines():
+    samples, _ = prom.parse("\nrepro_x 1 1700000000\n\n")
+    assert samples == [Sample("repro_x", (), 1.0)]
+
+
+# -- structural validation ---------------------------------------------------
+
+def test_validate_rejects_untyped_and_negative_counters():
+    with pytest.raises(PromParseError, match="no # TYPE"):
+        prom.validate("repro_x 1\n")
+    with pytest.raises(PromParseError, match="negative"):
+        prom.validate("# TYPE repro_x counter\nrepro_x -1\n")
+
+
+def test_validate_rejects_broken_histograms():
+    head = "# TYPE repro_h histogram\n"
+    non_monotone = (head +
+                    'repro_h_bucket{le="0.1"} 5\n'
+                    'repro_h_bucket{le="1.0"} 3\n'
+                    'repro_h_bucket{le="+Inf"} 6\n')
+    with pytest.raises(PromParseError, match="cumulative"):
+        prom.validate(non_monotone)
+    no_inf = head + 'repro_h_bucket{le="0.1"} 1\n'
+    with pytest.raises(PromParseError, match=r"\+Inf"):
+        prom.validate(no_inf)
+    count_mismatch = (head +
+                      'repro_h_bucket{le="+Inf"} 4\n'
+                      'repro_h_count 5\n')
+    with pytest.raises(PromParseError, match="_count"):
+        prom.validate(count_mismatch)

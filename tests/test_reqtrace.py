@@ -1,0 +1,129 @@
+"""Tests for per-request trace stitching (:mod:`repro.obs.reqtrace`).
+
+The headline property is the acceptance bar from the service docs: the
+stitched Perfetto document for a traced job is **byte-identical**
+between a serial server and a multi-process one — nothing wall-clock
+leaks into the trace.
+"""
+
+import json
+
+from repro.obs.reqtrace import PHASES, POINT_PID_BASE, REQUEST_PID, RequestTrace
+from repro.obs.trace import _HOST_PID, _SIM_PID
+from repro.serve import BackgroundServer, ServeClient
+
+#: Small enough that a point is tens of milliseconds.
+_PARAMS = {"work_ns": 500_000, "iterations": 10}
+
+
+def _span(name, ts, dur, *, tid=0, pid=_SIM_PID, cat="mpi"):
+    return ("X", cat, name, pid, tid, ts, dur, None)
+
+
+# -- unit: document shape ----------------------------------------------------
+
+def test_phase_slices_sit_at_logical_timestamps():
+    rt = RequestTrace("sweep")
+    for name in ("parse", "plan", "simulate", "stream"):
+        rt.phase(name)
+    doc = rt.to_chrome()
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert [e["name"] for e in slices] == ["parse", "plan", "simulate",
+                                           "stream"]
+    assert [(e["ts"], e["dur"]) for e in slices] == \
+        [(0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]
+    assert all(e["pid"] == REQUEST_PID for e in slices)
+    assert set(e["name"] for e in slices) <= set(PHASES)
+
+
+def test_points_sorted_by_key_and_rebased_onto_point_pids():
+    rt = RequestTrace("sweep")
+    rt.phase("simulate")
+    rt.add_point("zz", [_span("late", 2000.0, 1000.0, tid=1)])
+    rt.add_point("aa", [_span("early", 1000.0, 500.0)])
+    doc = rt.to_chrome()
+    assert doc["otherData"]["points"] == ["aa", "zz"]
+    spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+             and e.get("cat") != "serve"}
+    # sim-ns timestamps become trace-us; pids follow sort order.
+    assert spans["early"]["pid"] == POINT_PID_BASE
+    assert spans["early"]["ts"] == 1.0 and spans["early"]["dur"] == 0.5
+    assert spans["late"]["pid"] == POINT_PID_BASE + 1
+
+
+def test_duplicate_point_keeps_first_trace_and_drops_host_spans():
+    rt = RequestTrace("compare")
+    rt.add_point("k", [_span("first", 0.0, 1.0),
+                       _span("wall", 123.0, 1.0, pid=_HOST_PID)])
+    rt.add_point("k", [_span("second", 0.0, 1.0)])
+    assert rt.n_points == 1
+    names = [e["name"] for e in rt.to_chrome()["traceEvents"]
+             if e["ph"] == "X"]
+    assert names == ["first"]  # host/wall-clock span excluded
+
+
+def test_flow_arrows_pair_simulate_phase_with_first_point_span():
+    rt = RequestTrace("sweep")
+    rt.phase("parse")
+    rt.phase("simulate")
+    rt.add_point("k", [_span("a", 5000.0, 1000.0)])
+    events = rt.to_chrome()["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"] == 1
+    assert starts[0]["pid"] == REQUEST_PID
+    assert starts[0]["ts"] == 1.5  # middle of the simulate slice
+    assert finishes[0]["pid"] == POINT_PID_BASE
+    assert finishes[0]["ts"] == 5.0 and finishes[0]["bp"] == "e"
+
+
+def test_worker_flow_ids_are_namespaced_per_point():
+    flow = ("s", "net.flow", "msg", _SIM_PID, 0, 100.0, 7, None)
+    rt = RequestTrace("sweep")
+    rt.add_point("a", [flow])
+    rt.add_point("b", [flow])
+    ids = sorted(e["id"] for e in rt.to_chrome()["traceEvents"]
+                 if e["ph"] == "s" and e["cat"] == "net.flow")
+    assert len(set(ids)) == 2  # same worker id, disjoint namespaces
+
+
+def test_to_json_is_canonical():
+    rt = RequestTrace("compare")
+    rt.phase("parse")
+    text = rt.to_json()
+    assert json.loads(text)["otherData"]["kind"] == "compare"
+    assert text == json.dumps(json.loads(text), sort_keys=True,
+                              separators=(",", ":"))
+
+
+# -- end to end: byte determinism -------------------------------------------
+
+def test_stitched_trace_byte_identical_serial_vs_workers(tmp_path):
+    """The acceptance bar: a traced job's Perfetto document must not
+    depend on worker count.  Two fresh servers (so request/job counters
+    match), separate caches (so both actually simulate), first request
+    each."""
+    job = {"kind": "sweep", "app": "bsp", "nodes": [2, 4],
+           "patterns": ["quiet", "2.5pct@100Hz"], "seed": 31,
+           "app_params": _PARAMS, "trace": True}
+    docs = []
+    for workers in (1, 2):
+        cache = tmp_path / f"cache-w{workers}"
+        with BackgroundServer(workers=workers, cache=str(cache)) as bg:
+            events = list(ServeClient(*bg.address).submit(job))
+        traces = [e for e in events if e.get("event") == "trace"]
+        assert len(traces) == 1
+        assert traces[0]["points"] == 4
+        assert traces[0]["request_id"]
+        # The trace event streams after every point but before stats.
+        kinds = [e["event"] for e in events]
+        assert kinds.index("trace") == len(kinds) - 2
+        docs.append(json.dumps(traces[0]["trace"], sort_keys=True,
+                               separators=(",", ":")))
+    assert docs[0] == docs[1]
+    doc = json.loads(docs[0])
+    phase_names = [e["name"] for e in doc["traceEvents"]
+                   if e.get("cat") == "serve"]
+    assert phase_names == ["parse", "plan", "simulate", "stream"]
+    assert len(doc["otherData"]["points"]) == 4

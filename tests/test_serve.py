@@ -322,6 +322,213 @@ def test_cli_submit_connection_refused():
     assert "cannot reach server" in out.getvalue()
 
 
+# -- observability plane ----------------------------------------------------
+
+def test_metrics_json_backward_compatible_shape(server):
+    """PR-7 clients keep working: `/metrics` defaults to JSON with the
+    `serve` / `cache` / `version` keys; `registry` is now always
+    present (the server owns a host-scope registry even when the
+    global telemetry switchboard is off)."""
+    client = ServeClient(*server.address)
+    doc = client.metrics()
+    assert set(doc) >= {"serve", "cache", "version", "registry"}
+    serve = doc["serve"]
+    for key in ("requests_total", "points_simulated", "points_cached",
+                "points_deduped", "point_errors", "workers", "inflight"):
+        assert key in serve
+    assert any(k.startswith("serve.http_requests_total")
+               for k in doc["registry"])
+
+
+def test_metrics_prometheus_exposition_validates(server):
+    from repro.obs import prom
+
+    client = ServeClient(*server.address)
+    client.records(_sweep_job(seed=27))
+    text = client.metrics_text()
+    samples, types = prom.validate(text)
+    names = {s.name for s in samples}
+    assert "repro_serve_requests_total" in names
+    assert "repro_serve_points_simulated" in names
+    assert types["repro_serve_http_request_seconds"] == "histogram"
+    # Content negotiation: an Accept header is enough, no query param.
+    import http.client
+
+    conn = http.client.HTTPConnection(*server.address, timeout=30)
+    try:
+        conn.request("GET", "/metrics", headers={"Accept": "text/plain"})
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert "version=0.0.4" in resp.getheader("Content-Type", "")
+        prom.validate(resp.read().decode())
+    finally:
+        conn.close()
+
+
+def test_metrics_window_reports_rolling_rates(server):
+    client = ServeClient(*server.address)
+    client.records(_sweep_job(seed=28))
+    doc = client.metrics(window=30)
+    win = doc["window"]
+    assert win["window_s"] > 0 and win["samples"] >= 1
+    assert win["requests"] >= 1 and win["req_per_s"] > 0
+    assert 0.0 <= win["error_rate"] <= 1.0
+    with pytest.raises(ServeError, match="400"):
+        client._get_json("/metrics?window=bogus")
+
+
+def test_every_request_logged_with_request_id(server):
+    client = ServeClient(*server.address)
+    client.records(_sweep_job(seed=29))
+    logs = client.logs(event="request")
+    assert logs["count"] >= 2
+    assert all(d["request_id"].startswith("r-") for d in logs["events"])
+    ends = [d for d in logs["events"] if d["event"] == "request.end"]
+    assert ends and all("status" in d and "elapsed_s" in d for d in ends)
+    # Job/point events inherit the submitting request's correlation ids.
+    job_logs = client.logs(event="job.finished")
+    assert job_logs["events"]
+    assert job_logs["events"][-1]["request_id"].startswith("r-")
+    assert job_logs["events"][-1]["job_id"].startswith("j-")
+    # The since/limit cursor pages without duplication.
+    page = client.logs(since=logs["next_seq"])
+    assert all(d["seq"] > logs["next_seq"] for d in page["events"])
+
+
+def test_rejected_job_logged_and_carries_request_id(server):
+    client = ServeClient(*server.address)
+    with pytest.raises(ServeError, match="rejected"):
+        list(client.submit({"kind": "destroy"}))
+    rejects = client.logs(event="request.reject", level="warning")
+    assert rejects["events"]
+    assert rejects["events"][-1]["request_id"].startswith("r-")
+
+
+def test_unhandled_exception_is_counted_logged_and_returns_request_id(
+        server, monkeypatch):
+    """Satellite: the 500 path must not be silent — the error body
+    carries the request id, the oplog records it, and the exception
+    counter increments."""
+    client = ServeClient(*server.address)
+
+    def boom(**_kw):
+        raise RuntimeError("synthetic metrics failure")
+
+    monkeypatch.setattr(server.server, "metrics_doc", boom)
+    import http.client
+
+    conn = http.client.HTTPConnection(*server.address, timeout=30)
+    try:
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+    finally:
+        conn.close()
+    monkeypatch.undo()
+    assert resp.status == 500
+    assert body["request_id"].startswith("r-")
+    assert "RuntimeError" in body["error"]
+    errors = client.logs(event="request.error", level="error")
+    assert errors["events"]
+    last = errors["events"][-1]
+    assert last["request_id"].startswith("r-")
+    assert "RuntimeError" in last["error"]
+    snap = client.metrics()["registry"]
+    assert snap.get('serve.http_exceptions_total{kind=RuntimeError}', 0) >= 1
+    assert client.health()["ok"]  # server survived
+
+
+def test_readiness_distinct_from_liveness(tmp_path):
+    """`/healthz` is liveness (always 200 while the loop runs);
+    `/healthz?ready=1` is readiness — 503 until the worker pool
+    exists."""
+    with BackgroundServer(workers=1, cache=str(tmp_path / "c"),
+                          warm=False) as bg:
+        client = ServeClient(*bg.address)
+        assert client.health()["ok"]          # alive
+        with pytest.raises(ServeError, match="503"):
+            client.health(ready=True)         # not ready yet
+        import http.client
+
+        conn = http.client.HTTPConnection(*bg.address, timeout=30)
+        try:
+            conn.request("GET", "/healthz?ready=1")
+            resp = conn.getresponse()
+            body = json.loads(resp.read())
+        finally:
+            conn.close()
+        assert resp.status == 503
+        assert body["ready"] is False and body["request_id"].startswith("r-")
+        job = {"kind": "compare", "app": "bsp", "nodes": 2,
+               "pattern": "2.5pct@100Hz", "seed": 30,
+               "app_params": _PARAMS}
+        _records, stats = client.records(job)
+        assert stats["errors"] == 0           # first job forced the pool
+        assert client.health(ready=True)["ready"] is True
+
+
+def test_traced_job_streams_one_trace_event(server):
+    client = ServeClient(*server.address)
+    events = list(client.submit(_sweep_job(seed=32, trace=True)))
+    traces = [e for e in events if e["event"] == "trace"]
+    assert len(traces) == 1
+    tr = traces[0]
+    assert tr["points"] == 4 and tr["request_id"].startswith("r-")
+    assert tr["trace"]["traceEvents"]
+    # Untraced jobs don't pay for (or stream) a trace.
+    events = list(client.submit(_sweep_job(seed=32)))
+    assert not any(e["event"] == "trace" for e in events)
+
+
+def test_cli_submit_trace_writes_perfetto_file(server, tmp_path):
+    from repro.cli import main
+    import io
+
+    host, port = server.address
+    path = tmp_path / "req.json"
+    out = io.StringIO()
+    rc = main(["submit", "--host", host, "--port", str(port),
+               "--app", "bsp", "--nodes", "2",
+               "--patterns", "quiet,2.5pct@100Hz",
+               "--trace", str(path)], out=out)
+    assert rc == 0
+    assert "trace:" in out.getvalue()
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["generator"] == "repro.obs.reqtrace"
+
+
+def test_cli_top_renders_a_frame(server):
+    from repro.cli import main
+    import io
+
+    host, port = server.address
+    out = io.StringIO()
+    rc = main(["top", "--host", host, "--port", str(port), "--once"], out=out)
+    assert rc == 0
+    text = out.getvalue()
+    assert "repro top" in text
+    assert "rates (" in text and "latency:" in text
+    assert "workers:" in text
+    assert "\x1b[" not in text  # no ANSI control codes off-tty
+
+
+def test_cli_top_unreachable_server_is_rc2():
+    from repro.cli import main
+    import io
+
+    out = io.StringIO()
+    rc = main(["top", "--port", "1", "--once"], out=out)
+    assert rc == 2
+    assert "unreachable" in out.getvalue()
+
+
+def test_top_render_frame_handles_empty_documents():
+    from repro.serve.top import render_frame
+
+    text = render_frame({}, None)
+    assert "repro top" in text and "--" in text
+
+
 # -- mid-stream disconnect regression ---------------------------------------
 
 def _truncating_server(chunks):
