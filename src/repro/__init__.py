@@ -43,7 +43,7 @@ from .errors import (
     TraceError,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

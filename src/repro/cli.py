@@ -721,7 +721,11 @@ def main(argv: _t.Sequence[str] | None = None,
         if args.command == "lint":
             from .lint.cli import run_lint
 
-            return run_lint(args, out)
+            # Diagnostics go to stderr only when the report goes to
+            # the real stdout, so `repro lint --json | jq` sees one
+            # clean document; a captured `out` (tests) keeps both.
+            err = sys.stderr if out is sys.stdout else out
+            return run_lint(args, out, err)
     except ReproError as exc:
         out.write(f"error: {exc}\n")
         return 2

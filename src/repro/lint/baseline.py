@@ -68,6 +68,25 @@ class Baseline:
                                   f"fingerprint: {e!r}")
         return cls(entries)
 
+    def stale_entries(self, fired: _t.Collection[str]
+                      ) -> list[dict[str, _t.Any]]:
+        """Entries whose fingerprint no longer fires anywhere.
+
+        ``fired`` is the set of fingerprints produced by a lint run
+        over the full tree *without* baseline filtering.  Stale
+        entries are baseline rot: the finding was fixed but the
+        grandfather clause stayed behind, ready to mask a future
+        regression that happens to hash the same.
+        """
+        fired = set(fired)
+        return [e for e in self.entries if e["fingerprint"] not in fired]
+
+    def pruned(self, fired: _t.Collection[str]) -> "Baseline":
+        """A new baseline with stale entries dropped."""
+        fired = set(fired)
+        return Baseline(e for e in self.entries
+                        if e["fingerprint"] in fired)
+
     def dump(self, path: str | Path) -> None:
         doc = {"tool": "detlint", "version": BASELINE_VERSION,
                "entries": sorted(self.entries,

@@ -37,7 +37,9 @@ import ast
 import dataclasses
 import hashlib
 import re
+import time
 import typing as _t
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 __all__ = ["Finding", "ModuleUnderLint", "LintReport", "module_scope",
@@ -91,6 +93,10 @@ class Finding:
     line_text: str = ""
     fingerprint: str = ""
     baselined: bool = False
+    #: AST node the fixer layer rewrites (None for unfixable findings);
+    #: excluded from equality, hashing, and the JSON report.
+    fix_node: _t.Any = dataclasses.field(
+        default=None, compare=False, repr=False)
 
     def format(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
@@ -172,6 +178,16 @@ class LintReport:
     baselined: list[Finding] = dataclasses.field(default_factory=list)
     suppressed: int = 0
     files: int = 0
+    #: rule id -> cumulative seconds spent in its ``check`` pass
+    #: (``--stats``; kept out of the JSON report so it stays
+    #: byte-stable across runs).
+    rule_costs: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: normalized path -> analyzed module (the fixer layer needs the
+    #: source/AST that produced each finding).
+    modules: dict[str, "ModuleUnderLint"] = dataclasses.field(
+        default_factory=dict)
+    #: normalized path -> on-disk path, for writing fixes back.
+    file_of: dict[str, Path] = dataclasses.field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -213,12 +229,14 @@ def normalize_path(path: str | Path) -> tuple[str, tuple[str, ...]]:
     The display path is rooted at the ``repro`` package
     (``repro/sim/core.py``) whenever a ``repro`` component is present,
     so fingerprints are stable across checkouts and install layouts.
+    ``tests/`` and ``benchmarks/`` trees root the same way (the CI
+    lint gate analyzes them under the relaxed host profile).
     """
     parts = Path(path).parts
     for i in range(len(parts) - 1, -1, -1):
-        if parts[i] == "repro":
+        if parts[i] in ("repro", "tests", "benchmarks"):
             rel = tuple(parts[i + 1:])
-            return "/".join(("repro",) + rel), rel
+            return "/".join((parts[i],) + rel), rel
     return Path(path).name, (Path(path).name,)
 
 
@@ -269,6 +287,35 @@ def _assign_fingerprints(findings: list[Finding]) -> list[Finding]:
     return out
 
 
+def _run_rules(mod: ModuleUnderLint, rules: _t.Sequence[_t.Any],
+               costs: dict[str, float] | None = None) -> list[Finding]:
+    """Rule pass over one module, with optional per-rule timing."""
+    raw: list[Finding] = []
+    for rule in rules:
+        if not (mod.scope in rule.scopes or "*" in rule.scopes):
+            continue
+        t0 = time.perf_counter()
+        raw.extend(rule.check(mod))
+        if costs is not None:
+            costs[rule.id] = (costs.get(rule.id, 0.0)
+                              + time.perf_counter() - t0)
+    return raw
+
+
+def _apply_suppressions(source: str, raw: list[Finding],
+                        ) -> tuple[list[Finding], int]:
+    suppress = _suppressions(source)
+    kept: list[Finding] = []
+    n_suppressed = 0
+    for f in raw:
+        sup = suppress.get(f.line, frozenset())
+        if sup is None or f.rule in (sup or frozenset()):
+            n_suppressed += 1
+        else:
+            kept.append(f)
+    return kept, n_suppressed
+
+
 def lint_source(source: str, path: str | Path = "fixture.py", *,
                 scope: str | None = None,
                 rules: _t.Iterable[_t.Any] | None = None,
@@ -278,7 +325,13 @@ def lint_source(source: str, path: str | Path = "fixture.py", *,
     ``scope`` overrides the path-derived scope — fixtures in tests pass
     ``scope="sim"`` explicitly.  Findings carry fingerprints; inline
     suppressions have already been applied (their count is returned).
+
+    The cross-module rules see an index containing only this one
+    module, so interprocedural findings (DET007) need
+    :func:`lint_paths` over the whole tree — this is exactly the
+    single-function blindness the taint engine exists to fix.
     """
+    from .callgraph import build_index
     from .rules import active_rules
 
     norm, rel = normalize_path(path)
@@ -292,20 +345,12 @@ def lint_source(source: str, path: str | Path = "fixture.py", *,
                           f"syntax error: {exc.msg}")
         return _assign_fingerprints([finding]), 0
 
-    raw: list[Finding] = []
-    for rule in (rules if rules is not None else active_rules()):
-        if scope in rule.scopes or "*" in rule.scopes:
-            raw.extend(rule.check(mod))
-
-    suppress = _suppressions(source)
-    kept: list[Finding] = []
-    n_suppressed = 0
-    for f in raw:
-        sup = suppress.get(f.line, frozenset())
-        if sup is None or f.rule in (sup or frozenset()):
-            n_suppressed += 1
-        else:
-            kept.append(f)
+    rule_list = list(rules) if rules is not None else active_rules()
+    index = build_index([mod])
+    for rule in rule_list:
+        rule.index = index
+    raw = _run_rules(mod, rule_list)
+    kept, n_suppressed = _apply_suppressions(source, raw)
     return _assign_fingerprints(kept), n_suppressed
 
 
@@ -324,19 +369,83 @@ def iter_python_files(paths: _t.Iterable[str | Path]) -> list[Path]:
 
 def lint_paths(paths: _t.Iterable[str | Path], *,
                rules: _t.Iterable[_t.Any] | None = None,
-               baseline: _t.Any = None) -> LintReport:
+               baseline: _t.Any = None,
+               profile: str | None = None,
+               jobs: int = 1) -> LintReport:
     """Analyze every .py file under ``paths`` against the rule set.
+
+    Two-pass: an index pass parses every file and builds the
+    cross-module symbol table (:mod:`repro.lint.callgraph`), then the
+    rule pass runs every applicable rule per file with the shared
+    index injected — this is what lets DET007 see a host-clock helper
+    defined in one module and called from another.
 
     ``baseline`` is a :class:`repro.lint.baseline.Baseline` (or
     ``None``); baselined findings are reported separately and do not
-    make the run dirty.
+    make the run dirty.  ``profile`` overrides the path-derived scope
+    for every file (``"host"`` relaxes sim-only rules for
+    tests/benchmarks).  ``jobs > 1`` parses and analyzes files on a
+    thread pool; results are merged in sorted-file order, so output is
+    identical to a serial run.
     """
+    from .callgraph import build_index
+    from .rules import active_rules
+
+    rule_list = list(rules) if rules is not None else active_rules()
+    files = iter_python_files(paths)
     report = LintReport()
-    for file in iter_python_files(paths):
+
+    _Loaded = tuple  # (file, source, norm, mod-or-None, err-or-None)
+
+    def _load(file: Path) -> _Loaded:
         source = file.read_text(encoding="utf-8")
-        findings, n_sup = lint_source(source, file, rules=rules)
+        norm, rel = normalize_path(file)
+        file_scope = profile if profile is not None else module_scope(rel)
+        try:
+            return file, source, norm, \
+                ModuleUnderLint(source, norm, file_scope), None
+        except SyntaxError as exc:
+            err = Finding(PARSE_ERROR_RULE, "error", norm,
+                          exc.lineno or 1, (exc.offset or 1) - 1,
+                          f"syntax error: {exc.msg}")
+            return file, source, norm, None, err
+
+    def _analyze(entry: _Loaded) -> tuple[list[Finding], int,
+                                          dict[str, float]]:
+        _file, source, _norm, mod, err = entry
+        if mod is None:
+            return _assign_fingerprints([err]), 0, {}
+        costs: dict[str, float] = {}
+        raw = _run_rules(mod, rule_list, costs)
+        kept, n_sup = _apply_suppressions(source, raw)
+        return _assign_fingerprints(kept), n_sup, costs
+
+    if jobs > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            loaded = list(pool.map(_load, files))
+    else:
+        loaded = [_load(f) for f in files]
+
+    index = build_index(m for _f, _s, _n, m, _e in loaded
+                        if m is not None)
+    for rule in rule_list:
+        rule.index = index
+
+    if jobs > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            analyzed = list(pool.map(_analyze, loaded))
+    else:
+        analyzed = [_analyze(e) for e in loaded]
+
+    for entry, (findings, n_sup, costs) in zip(loaded, analyzed):
+        file, _source, norm, mod, _err = entry
         report.files += 1
         report.suppressed += n_sup
+        if mod is not None:
+            report.modules[norm] = mod
+            report.file_of[norm] = Path(file)
+        for rid, cost in costs.items():
+            report.rule_costs[rid] = report.rule_costs.get(rid, 0.0) + cost
         for f in findings:
             if baseline is not None and baseline.contains(f):
                 report.baselined.append(

@@ -1,0 +1,261 @@
+"""Mechanical fixers for ``repro lint --fix``.
+
+A fixer turns one finding into an exact byte-span :class:`Patch`
+against the original source — no reformatting, no AST round-trip, so a
+fix touches only the bytes it must.  Three rules have fixers today:
+
+* **DET003** — wrap the offending set iterable in ``sorted(...)``.
+* **DET005** — wrap the set argument of ``sum()``/``fsum()`` in
+  ``sorted(...)``.
+* **PERF001** — insert a ``__slots__`` declaration (attribute names
+  harvested from ``self.x = ...`` assignments in definition order).
+
+``--suppress RULE[,RULE...]`` additionally appends an inline
+``# detlint: disable=RULE -- TODO: justify`` comment to every finding
+of the named rules — a deliberate escape hatch that leaves a visible
+TODO rather than silently hiding debt.
+
+Patches are validated to be non-overlapping and applied right-to-left,
+so earlier patches never shift later spans; running ``--fix`` twice is
+a no-op by construction (the rewritten code no longer triggers the
+rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import difflib
+import typing as _t
+from pathlib import Path
+
+from .engine import Finding, LintReport, ModuleUnderLint, lint_paths
+
+__all__ = ["Patch", "FixResult", "plan_fixes", "apply_patches",
+           "fix_tree", "FIXERS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Patch:
+    """Replace ``source[start:end]`` with ``replacement``."""
+
+    start: int
+    end: int
+    replacement: str
+
+
+@dataclasses.dataclass
+class FixResult:
+    """Outcome of one ``--fix`` / ``--diff`` pass."""
+
+    #: normalized path -> rewritten source (differs from the original).
+    new_sources: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: normalized path -> unified diff against the original.
+    diffs: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: number of individual patches applied across all files.
+    patches: int = 0
+    #: the lint report the fixes were planned from.
+    report: LintReport | None = None
+
+    @property
+    def changed_files(self) -> int:
+        return len(self.new_sources)
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _offset(starts: list[int], lineno: int, col: int) -> int:
+    return starts[lineno - 1] + col
+
+
+def _node_span(starts: list[int], node: ast.AST) -> tuple[int, int] | None:
+    end_lineno = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_lineno is None or end_col is None:
+        return None
+    return (_offset(starts, node.lineno, node.col_offset),
+            _offset(starts, end_lineno, end_col))
+
+
+# -- per-rule fixers -------------------------------------------------------
+
+def _fix_wrap_sorted(mod: ModuleUnderLint,
+                     finding: Finding) -> Patch | None:
+    """DET003/DET005: wrap the unordered iterable in ``sorted(...)``."""
+    node = finding.fix_node
+    if node is None:
+        return None
+    starts = _line_starts(mod.source)
+    span = _node_span(starts, node)
+    if span is None:
+        return None
+    start, end = span
+    segment = mod.source[start:end]
+    return Patch(start, end, f"sorted({segment})")
+
+
+def _slot_names(cls: ast.ClassDef) -> list[str]:
+    """Instance attribute names in first-assignment order."""
+    seen: list[str] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(stmt):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign,
+                                     ast.AugAssign)):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if isinstance(t, ast.Attribute) \
+                        and isinstance(t.value, ast.Name) \
+                        and t.value.id == "self" \
+                        and t.attr not in seen:
+                    seen.append(t.attr)
+    return seen
+
+
+def _fix_missing_slots(mod: ModuleUnderLint,
+                       finding: Finding) -> Patch | None:
+    """PERF001: insert ``__slots__`` after the class docstring."""
+    cls = finding.fix_node
+    if not isinstance(cls, ast.ClassDef) or not cls.body:
+        return None
+    names = _slot_names(cls)
+    anchor = cls.body[0]
+    if isinstance(anchor, ast.Expr) \
+            and isinstance(anchor.value, ast.Constant) \
+            and isinstance(anchor.value.value, str) \
+            and len(cls.body) > 1:
+        anchor = cls.body[1]
+    starts = _line_starts(mod.source)
+    insert_at = starts[anchor.lineno - 1]
+    indent = " " * anchor.col_offset
+    if len(names) == 1:
+        tuple_src = f'("{names[0]}",)'
+    else:
+        tuple_src = "(" + ", ".join(f'"{n}"' for n in names) + ")"
+    blank = "\n" if anchor is not cls.body[0] else ""
+    return Patch(insert_at, insert_at,
+                 f"{indent}__slots__ = {tuple_src}\n{blank}")
+
+
+#: rule id -> fixer; keep in sync with ``fixable = True`` on the rule
+#: classes (asserted by tests/test_lint_fix.py).
+FIXERS: dict[str, _t.Callable[[ModuleUnderLint, Finding], Patch | None]] = {
+    "DET003": _fix_wrap_sorted,
+    "DET005": _fix_wrap_sorted,
+    "PERF001": _fix_missing_slots,
+}
+
+
+def _suppression_patches(mod: ModuleUnderLint,
+                         findings: list[Finding]) -> list[Patch]:
+    """One end-of-line suppression comment per (line, rule set)."""
+    by_line: dict[int, set[str]] = {}
+    for f in findings:
+        by_line.setdefault(f.line, set()).add(f.rule)
+    starts = _line_starts(mod.source)
+    out: list[Patch] = []
+    for lineno, rules in sorted(by_line.items()):
+        line = mod.line_text(lineno)
+        if "detlint:" in line:
+            continue  # already carries a suppression; do not stack
+        eol = (starts[lineno] - 1 if lineno < len(starts)
+               else len(mod.source))
+        spec = ",".join(sorted(rules))
+        out.append(Patch(eol, eol,
+                         f"  # detlint: disable={spec} -- TODO: justify"))
+    return out
+
+
+def plan_fixes(report: LintReport, *,
+               rules: _t.Collection[str] | None = None,
+               suppress: _t.Collection[str] = (),
+               ) -> dict[str, list[Patch]]:
+    """Patches per normalized path for the report's active findings.
+
+    ``rules`` restricts which fixable rules are rewritten (default:
+    all); ``suppress`` names rules whose findings get an inline
+    suppression comment instead of a rewrite.  Baselined and
+    already-suppressed findings are never touched.  Overlapping
+    patches are dropped deterministically (first in span order wins).
+    """
+    plans: dict[str, list[Patch]] = {}
+    to_suppress: dict[str, list[Finding]] = {}
+    for f in report.findings:
+        mod = report.modules.get(f.path)
+        if mod is None:
+            continue
+        if f.rule in suppress:
+            to_suppress.setdefault(f.path, []).append(f)
+            continue
+        if rules is not None and f.rule not in rules:
+            continue
+        fixer = FIXERS.get(f.rule)
+        if fixer is None:
+            continue
+        patch = fixer(mod, f)
+        if patch is not None:
+            plans.setdefault(f.path, []).append(patch)
+    for path, findings in to_suppress.items():
+        plans.setdefault(path, []).extend(
+            _suppression_patches(report.modules[path], findings))
+    out: dict[str, list[Patch]] = {}
+    for path, patches in plans.items():
+        kept: list[Patch] = []
+        last_end = -1
+        for p in sorted(set(patches), key=lambda p: (p.start, p.end)):
+            if p.start < last_end:
+                continue  # overlaps the previous patch; skip
+            kept.append(p)
+            last_end = max(last_end, p.end) if p.end > p.start \
+                else max(last_end, p.start + 1)
+        if kept:
+            out[path] = kept
+    return out
+
+
+def apply_patches(source: str, patches: _t.Sequence[Patch]) -> str:
+    """Apply non-overlapping patches right-to-left."""
+    for p in sorted(patches, key=lambda p: p.start, reverse=True):
+        source = source[:p.start] + p.replacement + source[p.end:]
+    return source
+
+
+def fix_tree(paths: _t.Iterable[str | Path], *,
+             rules: _t.Collection[str] | None = None,
+             suppress: _t.Collection[str] = (),
+             baseline: _t.Any = None,
+             profile: str | None = None,
+             write: bool = True) -> FixResult:
+    """Lint ``paths``, plan fixes, and (optionally) write them back.
+
+    Returns a :class:`FixResult` with per-file diffs; ``write=False``
+    is the ``--diff`` preview mode.  A second run over the fixed tree
+    plans zero patches (idempotence — covered by
+    tests/test_lint_fix.py).
+    """
+    report = lint_paths(paths, baseline=baseline, profile=profile)
+    plans = plan_fixes(report, rules=rules, suppress=suppress)
+    result = FixResult(report=report)
+    for norm in sorted(plans):
+        mod = report.modules[norm]
+        new_source = apply_patches(mod.source, plans[norm])
+        if new_source == mod.source:
+            continue
+        result.patches += len(plans[norm])
+        result.new_sources[norm] = new_source
+        result.diffs[norm] = "".join(difflib.unified_diff(
+            mod.source.splitlines(keepends=True),
+            new_source.splitlines(keepends=True),
+            fromfile=f"a/{norm}", tofile=f"b/{norm}"))
+        if write:
+            report.file_of[norm].write_text(new_source, encoding="utf-8")
+    return result

@@ -15,10 +15,16 @@ from .rules import rule_catalog
 
 __all__ = ["SCHEMA_VERSION", "render_text", "render_json"]
 
-SCHEMA_VERSION = 1
+#: v2: findings are globally sorted (active and baselined merged into
+#: one (path, line, col, rule) order) with a guaranteed trailing
+#: newline, and rule entries carry ``fixable``.  Run-varying data
+#: (per-rule timings) is deliberately excluded so two runs over the
+#: same tree produce byte-identical documents.
+SCHEMA_VERSION = 2
 
 
-def render_text(report: LintReport, *, verbose_baseline: bool = False) -> str:
+def render_text(report: LintReport, *, verbose_baseline: bool = False,
+                stats: bool = False) -> str:
     """One line per finding plus a summary tail (empty-safe)."""
     lines = [f.format() for f in report.findings]
     if verbose_baseline:
@@ -37,21 +43,38 @@ def render_text(report: LintReport, *, verbose_baseline: bool = False) -> str:
     if extras:
         tail += " [" + ", ".join(extras) + "]"
     lines.append(tail)
+    if stats and report.rule_costs:
+        lines.append("per-rule cost:")
+        total = sum(report.rule_costs.values())
+        for rid, cost in sorted(report.rule_costs.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+            share = 100 * cost / total if total else 0.0
+            lines.append(f"  {rid:9s} {1000 * cost:8.1f} ms "
+                         f"({share:4.1f}%)")
     return "\n".join(lines) + "\n"
 
 
 def render_json(report: LintReport, *, paths: _t.Sequence[str] = ()) -> str:
-    """Stable machine-readable report (sorted keys, versioned schema)."""
+    """Byte-stable machine-readable report.
+
+    Sorted keys, globally sorted findings (active and baselined in one
+    (path, line, col, rule) order), trailing newline, and no
+    run-varying data — two runs over an unchanged tree are
+    byte-identical, so CI artifact diffs mean something.
+    """
+    merged = sorted(list(report.findings) + list(report.baselined),
+                    key=lambda f: (f.path, f.line, f.col, f.rule,
+                                   f.baselined))
     doc = {
         "tool": "detlint",
         "schema_version": SCHEMA_VERSION,
         "paths": list(paths),
         "rules": {r["id"]: {"severity": r["severity"],
                             "summary": r["summary"],
-                            "scopes": r["scopes"]}
+                            "scopes": r["scopes"],
+                            "fixable": r["fixable"]}
                   for r in rule_catalog()},
-        "findings": [f.as_dict() for f in report.findings]
-        + [f.as_dict() for f in report.baselined],
+        "findings": [f.as_dict() for f in merged],
         "summary": {
             "files": report.files,
             "active": len(report.findings),

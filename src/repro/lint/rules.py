@@ -33,16 +33,27 @@ class Rule:
     #: Module scopes the rule applies to ("sim", "host", "neutral",
     #: or "*" for every scope).
     scopes: tuple[str, ...] = ("sim",)
+    #: True when :mod:`repro.lint.fixes` has a mechanical rewrite for
+    #: this rule (``repro lint --fix``).
+    fixable: bool = False
+    #: True when the rule reads the cross-module symbol table; such
+    #: rules see a single-module index under :func:`lint_source` and
+    #: the full project index under :func:`lint_paths`.
+    requires_index: bool = False
+    #: Injected by the engine before the rule pass (a
+    #: :class:`repro.lint.callgraph.ProjectIndex`).
+    index: _t.Any = None
 
     def check(self, mod: ModuleUnderLint) -> _t.Iterator[Finding]:
         raise NotImplementedError  # pragma: no cover - abstract
 
     def finding(self, mod: ModuleUnderLint, node: ast.AST,
-                message: str) -> Finding:
+                message: str, *, fix_node: ast.AST | None = None) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Finding(self.id, self.severity, mod.path, line, col,
-                       message, line_text=mod.line_text(line))
+                       message, line_text=mod.line_text(line),
+                       fix_node=fix_node)
 
 
 #: rule id -> rule class (the plugin registry).
@@ -66,10 +77,10 @@ def active_rules(ids: _t.Iterable[str] | None = None) -> list[Rule]:
     return [RULES[rid]() for rid in ids]
 
 
-def rule_catalog() -> list[dict[str, str]]:
+def rule_catalog() -> list[dict[str, _t.Any]]:
     """Stable description of every rule (id, severity, summary, doc)."""
     return [{"id": rid, "severity": cls.severity, "summary": cls.summary,
-             "scopes": ",".join(cls.scopes),
+             "scopes": ",".join(cls.scopes), "fixable": cls.fixable,
              "doc": (cls.__doc__ or "").strip()}
             for rid, cls in sorted(RULES.items())]
 
@@ -249,6 +260,7 @@ class UnorderedIterationEscapes(Rule):
 
     id = "DET003"
     summary = "unordered set/dict iteration escapes into sim state"
+    fixable = True
 
     def check(self, mod: ModuleUnderLint) -> _t.Iterator[Finding]:
         for node in ast.walk(mod.tree):
@@ -265,7 +277,7 @@ class UnorderedIterationEscapes(Rule):
                         "iterating a set is hash-order-dependent "
                         "(varies with PYTHONHASHSEED across "
                         "processes); iterate `sorted(...)` of it or "
-                        "use an ordered container")
+                        "use an ordered container", fix_node=it)
             if isinstance(node, (ast.For, ast.AsyncFor)) \
                     and isinstance(node.iter, ast.Call) \
                     and isinstance(node.iter.func, ast.Attribute) \
@@ -336,6 +348,7 @@ class FloatSumOverUnordered(Rule):
 
     id = "DET005"
     summary = "sum()/fsum() over a set expression (order-dependent floats)"
+    fixable = True
 
     def check(self, mod: ModuleUnderLint) -> _t.Iterator[Finding]:
         for node in ast.walk(mod.tree):
@@ -345,18 +358,23 @@ class FloatSumOverUnordered(Rule):
             if name not in ("sum", "math.fsum"):
                 continue
             arg = node.args[0]
+            fix_target: ast.AST | None = None
             hazard = _is_set_expr(mod, arg)
-            if not hazard and isinstance(arg, (ast.GeneratorExp,
-                                               ast.ListComp)):
-                hazard = any(_is_set_expr(mod, gen.iter)
-                             for gen in arg.generators)
+            if hazard:
+                fix_target = arg
+            elif isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                for gen in arg.generators:
+                    if _is_set_expr(mod, gen.iter):
+                        hazard = True
+                        fix_target = gen.iter
+                        break
             if hazard:
                 yield self.finding(
                     mod, node,
                     f"`{name}()` over a set accumulates floats in "
                     "hash order; wrap the set in `sorted(...)` (or "
                     "accumulate over an ordered sequence) so the "
-                    "result is bit-stable")
+                    "result is bit-stable", fix_node=fix_target)
 
 
 @rule
@@ -529,6 +547,7 @@ class MissingSlots(Rule):
     severity = "warning"
     summary = "hot-path class missing __slots__"
     scopes = ("sim", "host")
+    fixable = True
 
     def check(self, mod: ModuleUnderLint) -> _t.Iterator[Finding]:
         if not mod.is_hot_path:
@@ -562,7 +581,8 @@ class MissingSlots(Rule):
                     f"hot-path class `{node.name}` has no __slots__; "
                     "declare `__slots__ = (...)` (or "
                     "`@dataclass(slots=True)`) to avoid a per-instance "
-                    "__dict__ in the event-dispatch path")
+                    "__dict__ in the event-dispatch path",
+                    fix_node=node)
 
 
 _RANK_COUNT_TOKENS = ("n_nodes", "n_ranks", "nodes", "ranks")
@@ -660,7 +680,11 @@ class UngatedTelemetry(Rule):
     scopes = ("sim", "host")
 
     def check(self, mod: ModuleUnderLint) -> _t.Iterator[Finding]:
-        if mod.path.startswith(("repro/obs/", "repro/lint/")):
+        # The gate discipline is for instrumented product code; the
+        # obs/lint implementation and tests/benchmarks (which exercise
+        # the registry directly, on purpose) are exempt.
+        if mod.path.startswith(("repro/obs/", "repro/lint/")) \
+                or not mod.path.startswith("repro/"):
             return
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.Call):
@@ -696,3 +720,10 @@ class UngatedTelemetry(Rule):
                     "guard with `if self._metrics:` / `if not "
                     "_obs.metrics_enabled(): return` / `if tracer is "
                     "not None:` so the disabled path stays free")
+
+
+# Pull in the rule-pack submodules for their registration side effect
+# (they import ``Rule``/``rule`` from here, so this sits at the bottom
+# of the module to keep the import cycle one-way at definition time).
+from . import rules_async as _rules_async  # noqa: E402,F401
+from . import taint as _taint  # noqa: E402,F401

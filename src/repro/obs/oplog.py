@@ -173,7 +173,9 @@ def configure(*, path: str | None = None, cap: int | None = None) -> OpLog:
     """
     global _GLOBAL
     _GLOBAL.close()
-    _GLOBAL = OpLog(cap=cap or _GLOBAL.cap, path=path)
+    # Operational switchboard, not sim state: no simulation decision
+    # ever reads the oplog, so rebinding it cannot leak into results.
+    _GLOBAL = OpLog(cap=cap or _GLOBAL.cap, path=path)  # detlint: disable=DET008 -- write-only operational sink
     return _GLOBAL
 
 
@@ -181,7 +183,7 @@ def reset() -> None:
     """Back to the default ring-only log (tests, fresh CLI runs)."""
     global _GLOBAL
     _GLOBAL.close()
-    _GLOBAL = OpLog()
+    _GLOBAL = OpLog()  # detlint: disable=DET008 -- write-only operational sink, reset between runs
 
 
 def log(event: str, level: str = "info",

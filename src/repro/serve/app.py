@@ -723,12 +723,19 @@ class BackgroundServer:
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._stop: asyncio.Event | None = None
+        # Guards the loop-thread/caller-thread handshake state
+        # (_loop/_stop/port): the loop thread publishes them before
+        # setting _ready, but __exit__ and address can also race a
+        # server that is still starting (or crashed mid-start).
+        self._state_lock = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
-        if self.port is None:
+        with self._state_lock:
+            port = self.port
+        if port is None:
             raise RuntimeError("server is not running")
-        return self.host, self.port
+        return self.host, port
 
     def __enter__(self) -> "BackgroundServer":
         if self._warm:
@@ -744,17 +751,21 @@ class BackgroundServer:
         asyncio.run(self._main())
 
     async def _main(self) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._stop = asyncio.Event()
+        with self._state_lock:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
         srv = await self.server.start(self.host, 0)
-        self.port = srv.sockets[0].getsockname()[1]
+        with self._state_lock:
+            self.port = srv.sockets[0].getsockname()[1]
         self._ready.set()
         async with srv:
             await self._stop.wait()
 
     def __exit__(self, *exc: _t.Any) -> None:
-        if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+        with self._state_lock:
+            loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
         if self._thread is not None:
             self._thread.join(timeout=30)
         self.server.close()

@@ -494,11 +494,38 @@ def test_json_report_schema_is_stable(tmp_path):
     assert set(doc["rules"]) == set(RULES)
 
 
+def test_json_report_is_byte_stable(tmp_path):
+    """Two runs over the same tree render the identical byte string:
+    globally sorted findings, "fixable" on every rule entry, one
+    trailing newline — what CI artifact diffing relies on."""
+    for name, src in [("b.py", "import random\n"),
+                      ("a.py", "import time\nt = time.time()\n")]:
+        target = tmp_path / "repro" / "sim" / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    def render():
+        return render_json(lint_paths([tmp_path]), paths=[str(tmp_path)])
+
+    first, second = render(), render()
+    assert first == second
+    assert first.endswith("}\n") and not first.endswith("\n\n")
+    doc = json.loads(first)
+    order = [(f["path"], f["line"], f["col"], f["rule"])
+             for f in doc["findings"]]
+    assert order == sorted(order)
+    assert all("fixable" in entry for entry in doc["rules"].values())
+    # per-rule timing is --stats-only: wall-clock noise would break
+    # byte-stability.
+    assert "rule_costs" not in doc
+
+
 def test_rule_catalog_is_complete():
     cat = rule_catalog()
     assert {r["id"] for r in cat} == set(RULES)
     assert all(r["summary"] and r["doc"] for r in cat)
-    assert len(RULES) >= 10
+    assert len(RULES) >= 19
+    for prefix in ("DET007", "DET008", "DET009", "ASYNC00"):
+        assert any(r["id"].startswith(prefix) for r in cat)
 
 
 # -- CLI ---------------------------------------------------------------------
@@ -546,6 +573,61 @@ def test_cli_list_rules():
     assert code == 0
     for rid in RULES:
         assert rid in text
+    assert "fixable" in text
+
+
+def test_cli_explain():
+    code, text = _cli("--explain", "DET007")
+    assert code == 0
+    assert "DET007" in text and "taint" in text.lower()
+    code, text = _cli("--explain", "NOPE42")
+    assert code == 2 and "unknown rule" in text
+
+
+def test_cli_check_and_prune_baseline(tmp_path):
+    dirty = tmp_path / "legacy.py"
+    dirty.write_text("import random\nimport time\nt = time.time()\n")
+    baseline = tmp_path / "base.json"
+    assert _cli(str(dirty), "--baseline", str(baseline),
+                "--write-baseline")[0] == 0
+    # Baseline is tight while both findings still fire.
+    code, text = _cli(str(dirty), "--baseline", str(baseline),
+                      "--check-baseline")
+    assert code == 0 and "tight" in text
+    # Fixing one finding leaves a stale fingerprint behind ...
+    dirty.write_text("import random\n")
+    code, text = _cli(str(dirty), "--baseline", str(baseline),
+                      "--check-baseline")
+    assert code == 1 and "stale" in text and "DET001" in text
+    # ... which --prune-baseline drops, making the check pass again.
+    code, text = _cli(str(dirty), "--baseline", str(baseline),
+                      "--prune-baseline")
+    assert code == 0 and "pruned 1" in text
+    assert _cli(str(dirty), "--baseline", str(baseline),
+                "--check-baseline")[0] == 0
+    assert _cli(str(dirty), "--baseline", str(baseline))[0] == 0
+
+
+def test_cli_profile_overrides_path_scope(tmp_path):
+    probe = tmp_path / "repro" / "sim" / "timing.py"
+    probe.parent.mkdir(parents=True)
+    probe.write_text("import time\nt0 = time.time()\n")
+    assert _cli(str(probe), "--no-baseline")[0] == 1
+    # The CI profile for tests/ and benchmarks/: host rules only.
+    assert _cli(str(probe), "--no-baseline", "--profile", "host")[0] == 0
+
+
+def test_cli_jobs_output_is_identical_to_serial(tmp_path):
+    for i in range(6):
+        target = tmp_path / "repro" / "sim" / f"m{i}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("import random\nimport time\n"
+                          f"t{i} = time.time()\n")
+    serial = _cli(str(tmp_path), "--no-baseline", "--json")
+    threaded = _cli(str(tmp_path), "--no-baseline", "--json",
+                    "--jobs", "4")
+    assert serial == threaded and serial[0] == 1
+    assert _cli(str(tmp_path), "--jobs", "0")[0] == 2
 
 
 # -- the live tree ----------------------------------------------------------

@@ -1,0 +1,195 @@
+"""Fixer-layer tests: ``repro lint --fix`` / ``--diff`` / ``--suppress``.
+
+The contract under test: fixes are exact byte-span patches (asserted
+byte-for-byte, not just "re-lints clean"), a second ``--fix`` pass is a
+no-op, ``--diff`` writes nothing, and the FIXERS table stays in sync
+with the ``fixable`` flags the catalog advertises.
+"""
+
+import io
+import textwrap
+from pathlib import Path
+
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import lint_paths
+from repro.lint.fixes import FIXERS, apply_patches, fix_tree, Patch
+from repro.lint.rules import rule_catalog
+
+DET003_BEFORE = """\
+def emit(env, a, b):
+    for n in set(a) | set(b):
+        env.schedule(n)
+"""
+
+DET003_AFTER = """\
+def emit(env, a, b):
+    for n in sorted(set(a) | set(b)):
+        env.schedule(n)
+"""
+
+DET005_BEFORE = """\
+def total(xs):
+    return sum(set(xs))
+"""
+
+DET005_AFTER = """\
+def total(xs):
+    return sum(sorted(set(xs)))
+"""
+
+# repro/sim/core.py is a hot-path module, so PERF001 applies.
+SLOTS_BEFORE = '''\
+class Event:
+    """One scheduled occurrence."""
+
+    def __init__(self, env, value):
+        self.env = env
+        self.value = value
+'''
+
+SLOTS_AFTER = '''\
+class Event:
+    """One scheduled occurrence."""
+
+    __slots__ = ("env", "value")
+
+    def __init__(self, env, value):
+        self.env = env
+        self.value = value
+'''
+
+
+def make_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "repro"
+    for rel, src in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    return root
+
+
+def fixture_tree(tmp_path: Path) -> Path:
+    return make_tree(tmp_path, {
+        "sim/iterorder.py": DET003_BEFORE,
+        "sim/accum.py": DET005_BEFORE,
+        "sim/core.py": SLOTS_BEFORE,
+    })
+
+
+def _cli(*argv):
+    out = io.StringIO()
+    code = lint_main(list(argv), out)
+    return code, out.getvalue()
+
+
+# -- byte-exact rewrites ----------------------------------------------------
+
+def test_fix_is_byte_exact(tmp_path):
+    root = fixture_tree(tmp_path)
+    result = fix_tree([root])
+    assert result.changed_files == 3 and result.patches == 3
+    assert (root / "sim/iterorder.py").read_text() == DET003_AFTER
+    assert (root / "sim/accum.py").read_text() == DET005_AFTER
+    assert (root / "sim/core.py").read_text() == SLOTS_AFTER
+    assert lint_paths([root]).clean
+
+
+def test_fix_is_idempotent(tmp_path):
+    root = fixture_tree(tmp_path)
+    fix_tree([root])
+    again = fix_tree([root])
+    assert again.patches == 0 and again.changed_files == 0
+    assert (root / "sim/iterorder.py").read_text() == DET003_AFTER
+
+
+def test_diff_previews_without_writing(tmp_path):
+    root = fixture_tree(tmp_path)
+    result = fix_tree([root], write=False)
+    assert result.changed_files == 3
+    assert (root / "sim/iterorder.py").read_text() == DET003_BEFORE
+    diff = result.diffs["repro/sim/iterorder.py"]
+    assert "-    for n in set(a) | set(b):" in diff
+    assert "+    for n in sorted(set(a) | set(b)):" in diff
+
+
+def test_single_slot_gets_trailing_comma(tmp_path):
+    root = make_tree(tmp_path, {"sim/core.py": textwrap.dedent("""\
+        class Tick:
+            def __init__(self, when):
+                self.when = when
+    """)})
+    fix_tree([root])
+    assert '__slots__ = ("when",)' in (root / "sim/core.py").read_text()
+
+
+def test_fixers_match_the_advertised_fixable_flags():
+    advertised = {r["id"] for r in rule_catalog() if r["fixable"]}
+    assert set(FIXERS) == advertised
+    assert advertised == {"DET003", "DET005", "PERF001"}
+
+
+def test_apply_patches_is_order_independent():
+    src = "abcdef"
+    patches = [Patch(0, 1, "X"), Patch(3, 4, "Y")]
+    assert apply_patches(src, patches) == "XbcYef"
+    assert apply_patches(src, list(reversed(patches))) == "XbcYef"
+
+
+# -- suppression insertion --------------------------------------------------
+
+def test_suppress_round_trip(tmp_path):
+    root = make_tree(tmp_path, {"sim/clocky.py": (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n")})
+    result = fix_tree([root], suppress=("DET001",))
+    assert result.patches == 1
+    line = (root / "sim/clocky.py").read_text().splitlines()[2]
+    assert line.endswith("# detlint: disable=DET001 -- TODO: justify")
+    report = lint_paths([root])
+    assert report.clean and report.suppressed == 1
+
+
+def test_suppress_does_not_stack_on_existing_comments(tmp_path):
+    root = make_tree(tmp_path, {"sim/clocky.py": (
+        "import time\n"
+        "t = time.time()  # detlint: disable=DET003 -- wrong rule\n")})
+    result = fix_tree([root], suppress=("DET001",))
+    assert result.patches == 0  # the line already carries a marker
+
+
+# -- CLI entry points -------------------------------------------------------
+
+def test_cli_diff_is_a_pure_preview(tmp_path):
+    root = fixture_tree(tmp_path)
+    code, text = _cli(str(root), "--no-baseline", "--diff")
+    assert code == 0
+    assert "--- a/repro/sim/iterorder.py" in text
+    assert "nothing written" in text
+    assert (root / "sim/iterorder.py").read_text() == DET003_BEFORE
+
+
+def test_cli_fix_rewrites_and_exits_clean(tmp_path):
+    root = fixture_tree(tmp_path)
+    code, text = _cli(str(root), "--no-baseline", "--fix")
+    assert code == 0
+    assert "applied 3 fix(es) in 3 file(s)" in text
+    assert (root / "sim/core.py").read_text() == SLOTS_AFTER
+
+
+def test_cli_fix_exit_reflects_unfixable_leftovers(tmp_path):
+    root = make_tree(tmp_path, {"sim/mixed.py": (
+        "import random\n"          # DET002: not mechanically fixable
+        "def emit(env, a):\n"
+        "    for n in set(a):\n"   # DET003: fixable
+        "        env.schedule(n)\n")})
+    code, text = _cli(str(root), "--no-baseline", "--fix")
+    assert code == 1 and "DET002" in text
+    assert "sorted(set(a))" in (root / "sim/mixed.py").read_text()
+
+
+def test_cli_suppress_requires_fix_or_diff(tmp_path):
+    root = fixture_tree(tmp_path)
+    assert _cli(str(root), "--suppress", "DET001")[0] == 2
+    assert _cli(str(root), "--no-baseline", "--diff",
+                "--suppress", "NOPE42")[0] == 2
